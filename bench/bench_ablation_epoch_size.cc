@@ -1,0 +1,33 @@
+// Ablation: group-commit epoch length (Appendix A). Longer epochs
+// amortize fsync over more transactions (higher sustainable throughput
+// under tuple-level logging) but add batching delay to commit latency.
+#include "bench/harness.h"
+#include "bench/logging_sim.h"
+
+int main() {
+  using namespace pacman::bench;
+  PrintTitle("Ablation - group-commit epoch length (TPC-C, LL, 1 SSD)");
+
+  Env env = MakeTpccEnv(pacman::logging::LogScheme::kLogical);
+  const double bytes = MeasureBytesPerTxn(&env, 3000);
+
+  std::printf("%-12s %12s %14s %16s\n", "epoch (ms)", "tps (K)",
+              "latency (ms)", "fsyncs/s/logger");
+  for (double epoch_ms : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    LoggingSimParams p;
+    p.bytes_per_txn = bytes;
+    p.epoch_s = epoch_ms * 1e-3;
+    p.fsync_occupancy_s = 0.5e-3;  // Expose the fsync-rate ceiling.
+    p.num_ssds = 1;                // Single device: the ceiling can bind.
+    auto pt = SteadyState(p, /*ckpt_rate_total=*/0.0);
+    std::printf("%-12.0f %12.1f %14.2f %16.1f\n", epoch_ms, pt.tps / 1000,
+                pt.latency_s * 1000, 1000.0 / epoch_ms);
+  }
+  std::printf(
+      "\nExpected: a latency U-shape. Very short epochs burn the device in\n"
+      "fsync barriers (queueing blows up near saturation); long epochs add\n"
+      "batching delay linearly. The sweet spot sits at a few milliseconds,\n"
+      "matching SiloR's tens-of-ms-or-less epoch choice that the paper\n"
+      "adopts (Appendix A).\n");
+  return 0;
+}

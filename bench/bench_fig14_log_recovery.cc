@@ -1,0 +1,80 @@
+// Fig. 14: log recovery. (a) pure log-file reloading and (b) overall log
+// recovery time vs thread count for PLR, LLR, LLR-P, CLR, CLR-P.
+// The headline figure: CLR cannot use threads at all; CLR-P scales and
+// beats it by an order of magnitude; PLR/LLR collapse beyond ~20 threads
+// from per-tuple latch contention.
+#include "bench/harness.h"
+
+namespace pacman::bench {
+namespace {
+
+using recovery::Scheme;
+
+logging::LogScheme FormatFor(Scheme s) {
+  switch (s) {
+    case Scheme::kPlr:
+      return logging::LogScheme::kPhysical;
+    case Scheme::kLlr:
+    case Scheme::kLlrP:
+      return logging::LogScheme::kLogical;
+    default:
+      return logging::LogScheme::kCommand;
+  }
+}
+
+void Run(int num_txns) {
+  const Scheme schemes[] = {Scheme::kPlr, Scheme::kLlr, Scheme::kLlrP,
+                            Scheme::kClr, Scheme::kClrP};
+  const auto threads = PaperThreadCounts();
+  std::vector<std::vector<std::vector<double>>> results(
+      2, std::vector<std::vector<double>>(5,
+                                          std::vector<double>(threads.size())));
+  for (int si = 0; si < 5; ++si) {
+    Env env = MakeTpccEnv(FormatFor(schemes[si]));
+    const uint64_t hash = RunWorkload(&env, num_txns);
+    for (int reload = 1; reload >= 0; --reload) {
+      for (size_t ti = 0; ti < threads.size(); ++ti) {
+        pacman::recovery::RecoveryOptions opts;
+        opts.num_threads = threads[ti];
+        opts.reload_only = reload == 1;
+        auto r = CrashAndRecover(&env, schemes[si], opts, hash,
+                                 /*verify=*/reload == 0);
+        results[reload][si][ti] = r.log.seconds;
+      }
+    }
+  }
+  for (int reload = 1; reload >= 0; --reload) {
+    std::printf("--- Fig. 14%s: %s ---\n", reload ? "a" : "b",
+                reload ? "pure log file reloading" : "overall log recovery");
+    std::printf("%-8s", "threads");
+    for (Scheme s : schemes) {
+      std::printf(" %10s", pacman::recovery::SchemeName(s));
+    }
+    std::printf("\n");
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+      std::printf("%-8u", threads[ti]);
+      for (int si = 0; si < 5; ++si) {
+        std::printf(" %10.4f", results[reload][si][ti]);
+      }
+      std::printf("\n");
+    }
+  }
+  // The paper's headline: CLR-P vs CLR speedup at 40 threads.
+  const double clr_40 = results[0][3].back();
+  const double clrp_40 = results[0][4].back();
+  std::printf("\nCLR / CLR-P at 40 threads: %.1fx speedup (paper: ~18x)\n",
+              clr_40 / clrp_40);
+}
+
+}  // namespace
+}  // namespace pacman::bench
+
+int main() {
+  pacman::bench::PrintTitle("Fig. 14 - Log recovery (TPC-C)");
+  pacman::bench::Run(6000);
+  std::printf(
+      "\nExpected shape (paper): CL logs reload far faster than PL/LL;\n"
+      "CLR is flat (single replay thread); CLR-P improves steeply with\n"
+      "threads; PLR/LLR improve to ~20 threads then degrade (latches).\n");
+  return 0;
+}

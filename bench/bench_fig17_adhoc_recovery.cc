@@ -1,0 +1,41 @@
+// Fig. 17: database recovery with ad-hoc transactions. PACMAN (CLR-P)
+// recovers a mixed command/logical log; as the ad-hoc fraction rises the
+// recovery time falls smoothly toward pure LLR-P behaviour, because
+// ad-hoc entries replay as write-only transactions (§4.5).
+#include "bench/harness.h"
+
+namespace pacman::bench {
+namespace {
+
+void Run(bool tpcc, int num_txns) {
+  std::printf("--- Fig. 17%s: %s ---\n", tpcc ? "a" : "b",
+              tpcc ? "TPC-C" : "Smallbank");
+  std::printf("%-9s %14s %14s %14s\n", "adhoc", "ckpt (s)", "log (s)",
+              "total (s)");
+  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    Env env = tpcc ? MakeTpccEnv(pacman::logging::LogScheme::kCommand)
+                   : MakeSmallbankEnv(pacman::logging::LogScheme::kCommand);
+    const uint64_t hash = RunWorkload(&env, num_txns, frac);
+    pacman::recovery::RecoveryOptions opts;
+    opts.num_threads = 40;
+    auto r = CrashAndRecover(&env, pacman::recovery::Scheme::kClrP, opts,
+                             hash);
+    std::printf("%-9.1f %14.4f %14.4f %14.4f\n", frac, r.checkpoint.seconds,
+                r.log.seconds, r.TotalSeconds());
+  }
+}
+
+}  // namespace
+}  // namespace pacman::bench
+
+int main() {
+  using namespace pacman::bench;
+  PrintTitle("Fig. 17 - Database recovery with ad-hoc transactions (CLR-P)");
+  Run(/*tpcc=*/true, 5000);
+  Run(/*tpcc=*/false, 5000);
+  std::printf(
+      "\nExpected shape (paper): recovery time drops smoothly as the\n"
+      "ad-hoc fraction grows (write-only replay skips the reads); at 100%%\n"
+      "the behaviour equals LLR-P.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 18: effectiveness of static analysis. PACMAN's slice decomposition
+// vs the transaction-chopping baseline, both with dynamic analysis
+// disabled (coarse-grained block parallelism only), threads 1-8.
+#include "bench/harness.h"
+
+int main() {
+  using namespace pacman::bench;
+  PrintTitle("Fig. 18 - Static analysis vs transaction chopping (TPC-C)");
+
+  Env env = MakeTpccEnv(pacman::logging::LogScheme::kCommand);
+  const uint64_t hash = RunWorkload(&env, 6000);
+  pacman::analysis::GlobalDependencyGraph chopping_gdg =
+      env.db->BuildChoppingGdg();
+  std::printf("PACMAN GDG: %zu blocks; chopping GDG: %zu blocks\n",
+              env.db->gdg().NumBlocks(), chopping_gdg.NumBlocks());
+
+  std::printf("%-8s %18s %22s\n", "threads", "PACMAN static (s)",
+              "transaction chopping (s)");
+  for (uint32_t threads : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    double pacman_time, chopping_time;
+    {
+      pacman::recovery::RecoveryOptions opts;
+      opts.num_threads = threads;
+      opts.mode = pacman::recovery::PacmanMode::kStaticOnly;
+      pacman_time = CrashAndRecover(&env, pacman::recovery::Scheme::kClrP,
+                                    opts, hash)
+                        .log.seconds;
+    }
+    {
+      pacman::recovery::RecoveryOptions opts;
+      opts.num_threads = threads;
+      opts.mode = pacman::recovery::PacmanMode::kStaticOnly;
+      opts.gdg_override = &chopping_gdg;
+      chopping_time = CrashAndRecover(&env, pacman::recovery::Scheme::kClrP,
+                                      opts, hash)
+                          .log.seconds;
+    }
+    std::printf("%-8u %18.4f %22.4f\n", threads, pacman_time, chopping_time);
+  }
+  std::printf(
+      "\nExpected shape (paper): static analysis alone speeds up recovery\n"
+      "until the block count caps the parallelism (~3 threads), then goes\n"
+      "flat; chopping is always slower because its decomposition is\n"
+      "coarser.\n");
+  return 0;
+}

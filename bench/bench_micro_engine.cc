@@ -1,0 +1,108 @@
+// Engine micro-benchmarks (google-benchmark): index operations, value
+// hashing, log-record serialization, expression evaluation and commits.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/serializer.h"
+#include "logging/log_record.h"
+#include "proc/expr.h"
+#include "storage/bplus_tree.h"
+#include "storage/catalog.h"
+#include "storage/hash_index.h"
+#include "storage/table.h"
+#include "txn/transaction_manager.h"
+
+namespace pacman {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  storage::BPlusTree tree;
+  Rng rng(1);
+  for (auto _ : state) {
+    tree.Upsert(rng.Next() >> 8, &tree);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  storage::BPlusTree tree;
+  for (Key k = 0; k < 100000; ++k) tree.Insert(k, &tree);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(rng.Uniform(0, 99999)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_HashIndexLookup(benchmark::State& state) {
+  storage::HashIndex idx;
+  for (Key k = 0; k < 100000; ++k) idx.Insert(k, &idx);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Lookup(rng.Uniform(0, 99999)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexLookup);
+
+void BM_RowHash(benchmark::State& state) {
+  Row row = {Value(int64_t{1}), Value(2.5), Value(std::string(64, 'x'))};
+  for (auto _ : state) benchmark::DoNotOptimize(HashRow(row));
+}
+BENCHMARK(BM_RowHash);
+
+void BM_SerializeLogicalRecord(benchmark::State& state) {
+  logging::LogRecord rec;
+  rec.commit_ts = 1;
+  rec.epoch = 1;
+  for (int i = 0; i < 8; ++i) {
+    rec.writes.push_back(
+        {0, static_cast<Key>(i),
+         {Value(int64_t{i}), Value(1.0), Value(std::string(32, 'y'))},
+         false});
+  }
+  for (auto _ : state) {
+    Serializer s(1024);
+    logging::SerializeRecord(logging::LogScheme::kLogical, rec, &s);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeLogicalRecord);
+
+void BM_ExprEval(benchmark::State& state) {
+  using namespace proc;
+  std::vector<Value> params = {Value(int64_t{3}), Value(2.0)};
+  std::vector<Row> locals = {{Value(5.0)}};
+  std::vector<uint8_t> present = {1};
+  EvalContext ctx{&params, &locals, &present};
+  ExprPtr e = Mul(Add(F(0, 0), P(1)), Sub(C(10.0), P(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(e->Eval(ctx));
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_TxnCommitSingleWrite(benchmark::State& state) {
+  storage::Catalog catalog;
+  storage::Table* t =
+      catalog.CreateTable("t", Schema({{"v", ValueType::kInt64, 0}}),
+                          storage::IndexType::kHash);
+  for (Key k = 0; k < 1000; ++k) t->LoadRow(k, {Value(int64_t{0})}, 1);
+  txn::EpochManager epochs(0);
+  txn::TransactionManager tm(&epochs);
+  Rng rng(4);
+  for (auto _ : state) {
+    txn::Transaction txn = tm.Begin();
+    txn.Write(t, rng.Uniform(0, 999), {Value(int64_t{1})});
+    txn::CommitInfo info;
+    benchmark::DoNotOptimize(tm.Commit(&txn, &info));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnCommitSingleWrite);
+
+}  // namespace
+}  // namespace pacman
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 2 (Appendix D): overall SSD write bandwidth per logging scheme,
+// with and without checkpointing, on one or two SSDs. Bytes per txn are
+// measured from the real serializers; bandwidth comes from the fluid
+// steady-state model.
+#include "bench/harness.h"
+#include "bench/logging_sim.h"
+
+int main() {
+  using namespace pacman::bench;
+  PrintTitle("Table 2 - Overall SSD bandwidth (MB/s, TPC-C)");
+
+  double bytes[3];
+  const pacman::logging::LogScheme schemes[3] = {
+      pacman::logging::LogScheme::kPhysical,
+      pacman::logging::LogScheme::kLogical,
+      pacman::logging::LogScheme::kCommand};
+  for (int i = 0; i < 3; ++i) {
+    Env env = MakeTpccEnv(schemes[i]);
+    bytes[i] = MeasureBytesPerTxn(&env, 3000);
+  }
+
+  std::printf("%-10s | %8s %8s %8s | %8s %8s %8s\n", "", "PL", "LL", "CL",
+              "PL", "LL", "CL");
+  std::printf("%-10s | %26s | %26s\n", "", "w/ checkpoint", "w/o checkpoint");
+  for (uint32_t ssds : {1u, 2u}) {
+    std::printf("%u SSD%s     |", ssds, ssds == 1 ? " " : "s");
+    for (bool ckpt : {true, false}) {
+      for (int i = 0; i < 3; ++i) {
+        LoggingSimParams p;
+        p.bytes_per_txn = bytes[i];
+        p.num_ssds = ssds;
+        auto summary =
+            Summarize(p, SimulateTimeline(p, 400.0, 1.0, ckpt));
+        std::printf(" %8.0f", summary.ssd_bytes_per_s / 1e6);
+      }
+      if (ckpt) std::printf(" |");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): tuple-level logging pushes devices toward\n"
+      "saturation (~350 MB/s with one SSD incl. checkpoints, ~460 MB/s\n"
+      "with two); CL writes an order of magnitude less and is insensitive\n"
+      "to device count.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Shared benchmark harness: workload setup, transaction driving and table
+// printing. Every bench binary regenerates one table or figure of the
+// paper; EXPERIMENTS.md records paper-vs-measured for each.
+#ifndef PACMAN_BENCH_HARNESS_H_
+#define PACMAN_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pacman/database.h"
+#include "workload/adhoc.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+
+namespace pacman::bench {
+
+// A database bundled with a workload generator.
+struct Env {
+  std::unique_ptr<Database> db;
+  std::function<ProcId(Rng*, std::vector<Value>*)> next_txn;
+  std::string name;
+};
+
+inline DatabaseOptions DefaultDbOptions(logging::LogScheme scheme) {
+  DatabaseOptions opts;
+  opts.scheme = scheme;
+  opts.num_ssds = 2;
+  opts.num_loggers = 2;
+  opts.epochs_per_batch = 4;
+  opts.commits_per_epoch = 125;  // ~10 batches per 5000 transactions.
+  return opts;
+}
+
+// Bench-scale TPC-C (see DESIGN.md §2 on scaling): the paper used 200
+// warehouses / 20 GB; we run a reduced load and rely on the calibrated
+// cost model for virtual-time magnitudes.
+inline workload::TpccConfig BenchTpccConfig() {
+  workload::TpccConfig c;
+  c.num_warehouses = 4;
+  c.districts_per_warehouse = 10;
+  c.customers_per_district = 100;
+  c.num_items = 500;
+  c.orders_per_district = 16;
+  return c;
+}
+
+inline Env MakeTpccEnv(logging::LogScheme scheme,
+                       workload::TpccConfig config = BenchTpccConfig()) {
+  Env env;
+  env.name = "TPC-C";
+  env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
+  auto tpcc = std::make_shared<workload::Tpcc>(config);
+  tpcc->CreateTables(env.db->catalog());
+  tpcc->RegisterProcedures(env.db->registry());
+  tpcc->Load(env.db->catalog());
+  env.db->FinalizeSchema();
+  env.next_txn = [tpcc](Rng* rng, std::vector<Value>* params) {
+    return tpcc->NextTransaction(rng, params);
+  };
+  return env;
+}
+
+inline Env MakeSmallbankEnv(logging::LogScheme scheme) {
+  Env env;
+  env.name = "Smallbank";
+  env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
+  auto sb = std::make_shared<workload::Smallbank>(workload::SmallbankConfig{
+      .num_accounts = 20000, .hotspot_fraction = 0.1, .hotspot_size = 100});
+  sb->CreateTables(env.db->catalog());
+  sb->RegisterProcedures(env.db->registry());
+  sb->Load(env.db->catalog());
+  env.db->FinalizeSchema();
+  env.next_txn = [sb](Rng* rng, std::vector<Value>* params) {
+    return sb->NextTransaction(rng, params);
+  };
+  return env;
+}
+
+// Runs `n` transactions (optionally tagging an ad-hoc fraction) after
+// taking the baseline checkpoint. Returns the pre-crash content hash.
+inline uint64_t RunWorkload(Env* env, int n, double adhoc_fraction = 0.0,
+                            uint64_t seed = 42) {
+  env->db->TakeCheckpoint();
+  Rng rng(seed);
+  std::vector<Value> params;
+  for (int i = 0; i < n; ++i) {
+    ProcId proc = env->next_txn(&rng, &params);
+    bool adhoc = workload::TagAdhoc(&rng, adhoc_fraction);
+    Status s = env->db->ExecuteProcedure(proc, params, adhoc);
+    PACMAN_CHECK(s.ok());
+  }
+  return env->db->ContentHash();
+}
+
+// Crash + recover + verify; returns the recovery result.
+inline FullRecoveryResult CrashAndRecover(
+    Env* env, recovery::Scheme scheme, const recovery::RecoveryOptions& opts,
+    uint64_t expected_hash, bool verify = true) {
+  env->db->Crash();
+  FullRecoveryResult r = env->db->Recover(scheme, opts);
+  if (verify && !opts.reload_only) {
+    PACMAN_CHECK(env->db->ContentHash() == expected_hash);
+  }
+  return r;
+}
+
+// Measures the real serialized log bytes per transaction for a scheme by
+// running the workload through the actual serializers.
+inline double MeasureBytesPerTxn(Env* env, int n, double adhoc_fraction = 0.0,
+                                 uint64_t seed = 42) {
+  RunWorkload(env, n, adhoc_fraction, seed);
+  env->db->AdvanceEpoch();
+  return static_cast<double>(env->db->log_manager()->total_bytes()) / n;
+}
+
+// The thread counts the paper sweeps (x-axes of Figs. 13-15, 19).
+inline std::vector<uint32_t> PaperThreadCounts() {
+  return {1, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40};
+}
+
+inline void PrintRule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+}  // namespace pacman::bench
+
+#endif  // PACMAN_BENCH_HARNESS_H_

@@ -1,0 +1,71 @@
+// Quickstart: define a schema and stored procedures, run transactions
+// under command logging, crash, and recover with PACMAN (CLR-P).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "pacman/database.h"
+#include "proc/expr.h"
+#include "workload/bank.h"
+
+using namespace pacman;  // NOLINT: example brevity.
+
+int main() {
+  // 1. A database with command logging on two simulated SSDs.
+  DatabaseOptions options;
+  options.scheme = logging::LogScheme::kCommand;
+  Database db(options);
+
+  // 2. Schema + stored procedures (the paper's bank example, Figs. 2-5).
+  workload::Bank bank({.num_users = 10000, .num_nations = 16,
+                       .single_fraction = 0.1});
+  bank.CreateTables(db.catalog());
+  bank.RegisterProcedures(db.registry());
+  bank.Load(db.catalog());
+
+  // 3. Compile-time static analysis: slices -> local graphs -> the GDG.
+  db.FinalizeSchema();
+  std::printf("GDG has %zu blocks over %zu procedures\n",
+              db.gdg().NumBlocks(), db.registry()->size());
+
+  // 4. Durability baseline, then forward processing.
+  db.TakeCheckpoint();
+  Rng rng(2026);
+  std::vector<Value> params;
+  for (int i = 0; i < 20000; ++i) {
+    ProcId proc = bank.NextTransaction(&rng, &params);
+    Status s = db.ExecuteProcedure(proc, params);
+    if (!s.ok()) {
+      std::printf("txn failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("committed %llu transactions, logged %.1f MB\n",
+              static_cast<unsigned long long>(db.commits()),
+              db.log_manager()->total_bytes() / 1e6);
+
+  const uint64_t before = db.ContentHash();
+
+  // 5. Crash: all in-memory state is lost.
+  db.Crash();
+
+  // 6. Recover with PACMAN on a simulated 16-core machine.
+  recovery::RecoveryOptions ropts;
+  ropts.num_threads = 16;
+  FullRecoveryResult result = db.Recover(recovery::Scheme::kClrP, ropts);
+  std::printf("checkpoint recovery: %.3f s (virtual)\n",
+              result.checkpoint.seconds);
+  std::printf("log recovery:        %.3f s (virtual), %llu txns replayed\n",
+              result.log.seconds,
+              static_cast<unsigned long long>(result.log.records_replayed));
+
+  // 7. Verify: the recovered state matches bit for bit.
+  if (db.ContentHash() != before) {
+    std::printf("RECOVERY MISMATCH\n");
+    return 1;
+  }
+  std::printf("recovered state verified: content hash matches\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "analysis/chopping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/dependence.h"
+#include "common/macros.h"
+
+namespace pacman::analysis {
+
+namespace {
+
+// A chopping decomposition: for each proc, the sorted list of piece-start
+// op indices (piece i spans [starts[i], starts[i+1])).
+using Starts = std::vector<std::vector<OpIndex>>;
+
+// True if the op ranges [a0,a1) of proc pa and [b0,b1) of proc pb contain
+// data-dependent operations.
+bool RangesConflict(const proc::ProcedureDef& pa, OpIndex a0, OpIndex a1,
+                    const proc::ProcedureDef& pb, OpIndex b0, OpIndex b1) {
+  for (OpIndex i = a0; i < a1; ++i) {
+    for (OpIndex j = b0; j < b1; ++j) {
+      if (DataDependent(pa.ops[i], pb.ops[j])) return true;
+    }
+  }
+  return false;
+}
+
+struct PieceRef {
+  uint32_t instance;  // 2 * proc + copy.
+  uint32_t piece;
+};
+
+}  // namespace
+
+std::vector<LocalDependencyGraph> BuildChoppingGraphs(
+    const std::vector<proc::ProcedureDef>& procs) {
+  const size_t num_procs = procs.size();
+  Starts starts(num_procs);
+  for (size_t p = 0; p < num_procs; ++p) {
+    starts[p].resize(procs[p].ops.size());
+    std::iota(starts[p].begin(), starts[p].end(), 0);  // Finest chop.
+  }
+
+  // Fixpoint: find an instance with two pieces connected in the SC-graph
+  // minus that instance's own S-edges; merge everything between them.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Enumerate pieces of all instances (2 copies per proc).
+    const uint32_t num_instances = static_cast<uint32_t>(2 * num_procs);
+    std::vector<std::vector<PieceRef>> pieces(num_instances);
+    std::vector<uint32_t> first_node(num_instances + 1, 0);
+    uint32_t num_nodes = 0;
+    for (uint32_t inst = 0; inst < num_instances; ++inst) {
+      first_node[inst] = num_nodes;
+      num_nodes += static_cast<uint32_t>(starts[inst / 2].size());
+    }
+    first_node[num_instances] = num_nodes;
+
+    auto piece_range = [&](uint32_t inst, uint32_t piece, OpIndex* lo,
+                           OpIndex* hi) {
+      const auto& st = starts[inst / 2];
+      *lo = st[piece];
+      *hi = piece + 1 < st.size()
+                ? st[piece + 1]
+                : static_cast<OpIndex>(procs[inst / 2].ops.size());
+    };
+
+    // Precompute piece-level C-edges between all pairs of instances of
+    // *different* identity (including the twin copy of the same proc).
+    struct CEdge {
+      uint32_t a, b;  // Node ids.
+    };
+    std::vector<CEdge> c_edges;
+    for (uint32_t ia = 0; ia < num_instances; ++ia) {
+      for (uint32_t ib = ia + 1; ib < num_instances; ++ib) {
+        const auto& pa = procs[ia / 2];
+        const auto& pb = procs[ib / 2];
+        for (uint32_t x = 0; x < starts[ia / 2].size(); ++x) {
+          OpIndex a0, a1;
+          piece_range(ia, x, &a0, &a1);
+          for (uint32_t y = 0; y < starts[ib / 2].size(); ++y) {
+            OpIndex b0, b1;
+            piece_range(ib, y, &b0, &b1);
+            if (RangesConflict(pa, a0, a1, pb, b0, b1)) {
+              c_edges.push_back({first_node[ia] + x, first_node[ib] + y});
+            }
+          }
+        }
+      }
+    }
+
+    for (uint32_t target = 0; target < num_instances && !changed; ++target) {
+      // Connectivity over C-edges + S-edges of instances != target.
+      UnionFind uf(num_nodes);
+      for (const CEdge& e : c_edges) uf.Union(e.a, e.b);
+      for (uint32_t inst = 0; inst < num_instances; ++inst) {
+        if (inst == target) continue;
+        uint32_t n = static_cast<uint32_t>(starts[inst / 2].size());
+        for (uint32_t k = 0; k + 1 < n; ++k) {
+          uf.Union(first_node[inst] + k, first_node[inst] + k + 1);
+        }
+      }
+      // Two pieces of `target` in one component => SC-cycle: merge the
+      // whole span between the first offending pair.
+      uint32_t n = static_cast<uint32_t>(starts[target / 2].size());
+      for (uint32_t x = 0; x < n && !changed; ++x) {
+        for (uint32_t y = x + 1; y < n && !changed; ++y) {
+          if (uf.Same(first_node[target] + x, first_node[target] + y)) {
+            auto& st = starts[target / 2];
+            st.erase(st.begin() + x + 1, st.begin() + y + 1);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Wrap each decomposition as a serial-chain LocalDependencyGraph.
+  std::vector<LocalDependencyGraph> graphs;
+  for (size_t p = 0; p < num_procs; ++p) {
+    LocalDependencyGraph g;
+    g.proc = procs[p].id;
+    g.proc_name = procs[p].name + "_chopped";
+    const auto& st = starts[p];
+    const auto num_ops = static_cast<OpIndex>(procs[p].ops.size());
+    g.op_to_slice.resize(num_ops);
+    for (SliceId s = 0; s < st.size(); ++s) {
+      Slice slice;
+      slice.id = s;
+      OpIndex hi = s + 1 < st.size() ? st[s + 1] : num_ops;
+      for (OpIndex i = st[s]; i < hi; ++i) {
+        slice.ops.push_back(i);
+        g.op_to_slice[i] = s;
+      }
+      if (s > 0) {
+        slice.deps.push_back(s - 1);
+        g.slices[s - 1].children.push_back(s);
+      }
+      g.slices.push_back(std::move(slice));
+    }
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+}  // namespace pacman::analysis

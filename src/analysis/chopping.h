@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Transaction chopping baseline (Shasha et al., TODS'95) used as the
+// comparison point for PACMAN's static analysis in Fig. 18.
+//
+// Chopping splits each transaction into contiguous pieces such that any
+// strict-2PL execution of the pieces is serializable: the SC-graph (S-edges
+// chain the pieces of one transaction; C-edges connect conflicting pieces
+// of different transactions) must contain no SC-cycle. We detect SC-cycles
+// exactly: pieces p, q of an instance I form an SC-cycle iff p and q are
+// connected in the SC-graph with I's own S-edges removed. Two instances of
+// every procedure participate so self-conflicts are covered.
+//
+// Chopping's pieces come out coarser than PACMAN's slices because its
+// correctness condition must hold under arbitrary runtime interleavings,
+// whereas PACMAN replays a known, pre-ordered transaction sequence (§7).
+#ifndef PACMAN_ANALYSIS_CHOPPING_H_
+#define PACMAN_ANALYSIS_CHOPPING_H_
+
+#include <vector>
+
+#include "analysis/local_graph.h"
+#include "proc/procedure.h"
+
+namespace pacman::analysis {
+
+// Returns one graph per procedure, shaped like a local dependency graph
+// whose slices are the chopping pieces chained serially (piece i depends
+// on piece i-1). Feed these to BuildGlobalGraph to drive the recovery
+// executor with chopping-granular pieces.
+std::vector<LocalDependencyGraph> BuildChoppingGraphs(
+    const std::vector<proc::ProcedureDef>& procs);
+
+}  // namespace pacman::analysis
+
+#endif  // PACMAN_ANALYSIS_CHOPPING_H_

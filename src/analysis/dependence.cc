@@ -1,0 +1,10 @@
+#include "analysis/dependence.h"
+
+namespace pacman::analysis {
+
+bool DataDependent(const proc::Operation& a, const proc::Operation& b) {
+  if (a.table_name != b.table_name) return false;
+  return a.IsModification() || b.IsModification();
+}
+
+}  // namespace pacman::analysis

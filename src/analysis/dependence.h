@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Dependence predicates shared by the static analyses (§4.1).
+//
+// Flow dependencies (define-use and control relations) are extracted by
+// ProcedureBuilder and stored on each Operation. Data dependencies are
+// defined at table granularity: two operations are data-dependent if both
+// access the same table and at least one is a modification (§4.1.1) —
+// insert and delete included.
+#ifndef PACMAN_ANALYSIS_DEPENDENCE_H_
+#define PACMAN_ANALYSIS_DEPENDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "proc/procedure.h"
+
+namespace pacman::analysis {
+
+// True if `a` and `b` are (mutually) data-dependent.
+bool DataDependent(const proc::Operation& a, const proc::Operation& b);
+
+// Union-find over dense ids; used by slice/block merging in Algorithms 1-2.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Unions the sets of a and b; the representative becomes min(roots) so
+  // merged ids remain stable/deterministic.
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace pacman::analysis
+
+#endif  // PACMAN_ANALYSIS_DEPENDENCE_H_

@@ -1,0 +1,226 @@
+#include "analysis/global_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "analysis/dependence.h"
+#include "common/macros.h"
+
+namespace pacman::analysis {
+
+namespace {
+
+// Tables accessed by a slice, split into read / written sets.
+void SliceTableAccess(const proc::ProcedureDef& proc, const Slice& slice,
+                      std::set<std::string>* reads,
+                      std::set<std::string>* writes) {
+  for (OpIndex oi : slice.ops) {
+    const proc::Operation& op = proc.ops[oi];
+    if (op.IsModification()) {
+      writes->insert(op.table_name);
+    } else {
+      reads->insert(op.table_name);
+    }
+  }
+}
+
+}  // namespace
+
+GlobalDependencyGraph BuildGlobalGraph(
+    const std::vector<LocalDependencyGraph>& graphs,
+    const std::vector<proc::ProcedureDef>& procs) {
+  PACMAN_CHECK(graphs.size() == procs.size());
+
+  // Dense global slice ids.
+  std::vector<GlobalSliceRef> slice_refs;
+  std::vector<std::vector<uint32_t>> global_id;  // [proc][slice] -> gid.
+  for (ProcId p = 0; p < graphs.size(); ++p) {
+    global_id.push_back({});
+    for (SliceId s = 0; s < graphs[p].slices.size(); ++s) {
+      global_id[p].push_back(static_cast<uint32_t>(slice_refs.size()));
+      slice_refs.push_back({p, s});
+    }
+  }
+  const size_t num_slices = slice_refs.size();
+  UnionFind uf(num_slices);
+
+  // Merge blocks: union slices that are data-dependent. Table-granular:
+  // if any procedure writes table T, then all slices accessing T are
+  // pairwise data-dependent through that writer.
+  std::map<std::string, std::vector<uint32_t>> readers, writers;
+  for (uint32_t g = 0; g < num_slices; ++g) {
+    const auto& ref = slice_refs[g];
+    std::set<std::string> r, w;
+    SliceTableAccess(procs[ref.proc], graphs[ref.proc].slices[ref.slice], &r,
+                     &w);
+    for (const auto& t : r) readers[t].push_back(g);
+    for (const auto& t : w) writers[t].push_back(g);
+  }
+  for (const auto& [table, ws] : writers) {
+    for (size_t i = 1; i < ws.size(); ++i) uf.Union(ws[0], ws[i]);
+    auto it = readers.find(table);
+    if (it != readers.end()) {
+      for (uint32_t r : it->second) uf.Union(ws[0], r);
+    }
+  }
+
+  // Build graph: block edges from intra-procedure LDG edges, then break
+  // cycles by merging strongly connected blocks until acyclic.
+  while (true) {
+    // Current block adjacency (on union-find roots).
+    std::map<uint32_t, std::set<uint32_t>> adj;
+    for (ProcId p = 0; p < graphs.size(); ++p) {
+      for (const Slice& s : graphs[p].slices) {
+        uint32_t to = uf.Find(global_id[p][s.id]);
+        for (SliceId d : s.deps) {
+          uint32_t from = uf.Find(global_id[p][d]);
+          if (from != to) adj[from].insert(to);
+        }
+      }
+    }
+    // Find a cycle via iterative DFS coloring; merge its nodes.
+    std::map<uint32_t, int> color;  // 0 white, 1 gray, 2 black.
+    std::vector<uint32_t> cycle;
+    std::function<bool(uint32_t, std::vector<uint32_t>&)> dfs =
+        [&](uint32_t u, std::vector<uint32_t>& path) -> bool {
+      color[u] = 1;
+      path.push_back(u);
+      for (uint32_t v : adj[u]) {
+        if (color[v] == 1) {
+          // Found a cycle: path suffix from v.
+          auto it = std::find(path.begin(), path.end(), v);
+          cycle.assign(it, path.end());
+          return true;
+        }
+        if (color[v] == 0 && dfs(v, path)) return true;
+      }
+      path.pop_back();
+      color[u] = 2;
+      return false;
+    };
+    bool found = false;
+    for (const auto& [u, vs] : adj) {
+      if (color[u] == 0) {
+        std::vector<uint32_t> path;
+        if (dfs(u, path)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) break;
+    for (size_t i = 1; i < cycle.size(); ++i) uf.Union(cycle[0], cycle[i]);
+  }
+
+  // Materialize blocks; order by smallest (proc, slice) pair for
+  // determinism, then topologically renumber.
+  std::map<uint32_t, std::vector<uint32_t>> groups;
+  for (uint32_t g = 0; g < num_slices; ++g) groups[uf.Find(g)].push_back(g);
+
+  std::vector<uint32_t> roots;
+  for (const auto& [root, members] : groups) roots.push_back(root);
+  std::sort(roots.begin(), roots.end());
+  std::map<uint32_t, uint32_t> root_to_tmp;
+  for (uint32_t i = 0; i < roots.size(); ++i) root_to_tmp[roots[i]] = i;
+
+  const size_t num_blocks = roots.size();
+  std::vector<std::set<uint32_t>> tmp_deps(num_blocks);
+  for (ProcId p = 0; p < graphs.size(); ++p) {
+    for (const Slice& s : graphs[p].slices) {
+      uint32_t to = root_to_tmp[uf.Find(global_id[p][s.id])];
+      for (SliceId d : s.deps) {
+        uint32_t from = root_to_tmp[uf.Find(global_id[p][d])];
+        if (from != to) tmp_deps[to].insert(from);
+      }
+    }
+  }
+
+  // Kahn topological order with deterministic (smallest tmp id) tie-break.
+  std::vector<std::set<uint32_t>> tmp_children(num_blocks);
+  std::vector<uint32_t> indeg(num_blocks, 0);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    for (uint32_t d : tmp_deps[b]) tmp_children[d].insert(b);
+    indeg[b] = static_cast<uint32_t>(tmp_deps[b].size());
+  }
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> q;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    if (indeg[b] == 0) q.push(b);
+  }
+  std::vector<uint32_t> tmp_to_final(num_blocks);
+  uint32_t next_id = 0;
+  while (!q.empty()) {
+    uint32_t b = q.top();
+    q.pop();
+    tmp_to_final[b] = next_id++;
+    for (uint32_t c : tmp_children[b]) {
+      if (--indeg[c] == 0) q.push(c);
+    }
+  }
+  PACMAN_CHECK(next_id == num_blocks);  // Cycles were all merged.
+
+  GlobalDependencyGraph gdg;
+  gdg.blocks.resize(num_blocks);
+  for (uint32_t tmp = 0; tmp < num_blocks; ++tmp) {
+    Block& blk = gdg.blocks[tmp_to_final[tmp]];
+    blk.id = tmp_to_final[tmp];
+    for (uint32_t g : groups[roots[tmp]]) {
+      blk.member_slices.push_back(slice_refs[g]);
+    }
+    for (uint32_t d : tmp_deps[tmp]) {
+      blk.deps.push_back(tmp_to_final[d]);
+    }
+  }
+  for (Block& blk : gdg.blocks) {
+    std::sort(blk.deps.begin(), blk.deps.end());
+    for (BlockId d : blk.deps) gdg.blocks[d].children.push_back(blk.id);
+  }
+  for (Block& blk : gdg.blocks) {
+    std::sort(blk.children.begin(), blk.children.end());
+  }
+
+  // Per-procedure pieces: merge same-procedure slices within each block
+  // (GDG property 4) and order pieces by block id.
+  gdg.proc_pieces.resize(procs.size());
+  for (ProcId p = 0; p < procs.size(); ++p) {
+    std::map<BlockId, std::vector<OpIndex>> by_block;
+    for (SliceId s = 0; s < graphs[p].slices.size(); ++s) {
+      uint32_t tmp = root_to_tmp[uf.Find(global_id[p][s])];
+      BlockId blk = tmp_to_final[tmp];
+      const auto& ops = graphs[p].slices[s].ops;
+      auto& dst = by_block[blk];
+      dst.insert(dst.end(), ops.begin(), ops.end());
+    }
+    for (auto& [blk, ops] : by_block) {
+      std::sort(ops.begin(), ops.end());
+      gdg.proc_pieces[p].push_back({blk, std::move(ops)});
+    }
+    // std::map iterates in ascending block id = topological order.
+  }
+  return gdg;
+}
+
+std::string GlobalGraphToDot(const GlobalDependencyGraph& gdg,
+                             const std::vector<proc::ProcedureDef>& procs) {
+  std::string out = "digraph GDG {\n  rankdir=TB;\n";
+  for (const Block& b : gdg.blocks) {
+    out += "  b" + std::to_string(b.id) + " [shape=box,label=\"Block " +
+           std::to_string(b.id) + "\\n";
+    for (const GlobalSliceRef& ref : b.member_slices) {
+      out += procs[ref.proc].name + "/S" + std::to_string(ref.slice) + "\\n";
+    }
+    out += "\"];\n";
+  }
+  for (const Block& b : gdg.blocks) {
+    for (BlockId d : b.deps) {
+      out +=
+          "  b" + std::to_string(d) + " -> b" + std::to_string(b.id) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pacman::analysis

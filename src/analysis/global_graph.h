@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Inter-procedure static analysis (paper §4.1.2, Algorithm 2).
+//
+// Integrates the local dependency graphs of all stored procedures into a
+// single global dependency graph (GDG) of blocks. Blocks group slices that
+// are data-dependent across procedures; block edges carry the flow
+// dependencies of the originating procedures. Recovery instantiates one
+// piece-set per block for every log batch (§4.2).
+#ifndef PACMAN_ANALYSIS_GLOBAL_GRAPH_H_
+#define PACMAN_ANALYSIS_GLOBAL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/local_graph.h"
+#include "common/types.h"
+#include "proc/procedure.h"
+
+namespace pacman::analysis {
+
+// Reference to an original LDG slice.
+struct GlobalSliceRef {
+  ProcId proc = 0;
+  SliceId slice = 0;
+};
+
+// One GDG node. Blocks are numbered in topological order: every dependency
+// of block b has id < b.
+struct Block {
+  BlockId id = 0;
+  std::vector<GlobalSliceRef> member_slices;
+  std::vector<BlockId> deps;      // Blocks this block depends on.
+  std::vector<BlockId> children;  // Reverse edges.
+};
+
+// The operations a given procedure contributes to a given block, after the
+// same-procedure slices within the block are merged (GDG property 4).
+// Instantiating a transaction of that procedure creates one piece per
+// ProcPiece (§4.2).
+struct ProcPiece {
+  BlockId block = 0;
+  std::vector<OpIndex> ops;  // Ascending program order.
+};
+
+struct GlobalDependencyGraph {
+  std::vector<Block> blocks;
+  // Indexed by ProcId; pieces ordered by ascending block id (a valid
+  // intra-transaction execution order, since block ids are topological).
+  std::vector<std::vector<ProcPiece>> proc_pieces;
+
+  size_t NumBlocks() const { return blocks.size(); }
+};
+
+// Algorithm 2. `graphs[p]` must be the LDG of `procs[p]` and ProcIds must
+// be dense (procs[p].id == p).
+GlobalDependencyGraph BuildGlobalGraph(
+    const std::vector<LocalDependencyGraph>& graphs,
+    const std::vector<proc::ProcedureDef>& procs);
+
+// Graphviz rendering (Figs. 5c and 21).
+std::string GlobalGraphToDot(const GlobalDependencyGraph& gdg,
+                             const std::vector<proc::ProcedureDef>& procs);
+
+}  // namespace pacman::analysis
+
+#endif  // PACMAN_ANALYSIS_GLOBAL_GRAPH_H_

@@ -1,0 +1,167 @@
+#include "analysis/local_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/dependence.h"
+#include "common/macros.h"
+
+namespace pacman::analysis {
+
+namespace {
+
+// Reachability over slice groups using direct flow-dep edges between ops
+// mapped through a union-find. Used for the cycle-breaking merge step.
+// Returns true if group `from` can reach group `to` via op-level flow deps.
+bool Reaches(const proc::ProcedureDef& proc, UnionFind& uf, uint32_t from,
+             uint32_t to) {
+  const size_t n = proc.ops.size();
+  std::vector<bool> visited(n, false);
+  // BFS over op-level edges, tracking group transitions. Seed: all ops in
+  // `from`.
+  std::vector<OpIndex> stack;
+  for (OpIndex i = 0; i < n; ++i) {
+    if (uf.Find(i) == from) {
+      stack.push_back(i);
+      visited[i] = true;
+    }
+  }
+  while (!stack.empty()) {
+    OpIndex op = stack.back();
+    stack.pop_back();
+    // Edges go from flow_deps[i] -> i, so scan all ops depending on `op`.
+    for (OpIndex j = 0; j < n; ++j) {
+      if (visited[j]) continue;
+      const auto& deps = proc.ops[j].flow_deps;
+      if (std::find(deps.begin(), deps.end(), op) != deps.end()) {
+        if (uf.Find(j) == to) return true;
+        visited[j] = true;
+        stack.push_back(j);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalDependencyGraph BuildLocalGraph(const proc::ProcedureDef& proc) {
+  const size_t n = proc.ops.size();
+  UnionFind uf(n);
+
+  // Step 1 (merge slices): union mutually data-dependent operations.
+  for (OpIndex i = 0; i < n; ++i) {
+    for (OpIndex j = i + 1; j < n; ++j) {
+      if (DataDependent(proc.ops[i], proc.ops[j])) uf.Union(i, j);
+    }
+  }
+
+  // Step 2 (slice convexity): if x and y share a slice and y is
+  // flow-dependent on x, all ops between x and y join the slice. Iterate
+  // to fixpoint (merges may create new in-slice flow-dependent pairs).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (OpIndex y = 0; y < n; ++y) {
+      for (OpIndex x : proc.ops[y].flow_deps) {
+        if (uf.Find(x) != uf.Find(y)) continue;
+        for (OpIndex z = x + 1; z < y; ++z) {
+          if (uf.Find(z) != uf.Find(x)) {
+            uf.Union(z, x);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Step 3 (break cycles): merge mutually (indirectly) dependent slices.
+  // Repeat until no pair of distinct groups reaches each other.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (OpIndex i = 0; i < n && !changed; ++i) {
+      for (OpIndex j = 0; j < n && !changed; ++j) {
+        uint32_t gi = uf.Find(i), gj = uf.Find(j);
+        if (gi == gj) continue;
+        if (Reaches(proc, uf, gi, gj) && Reaches(proc, uf, gj, gi)) {
+          uf.Union(gi, gj);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Materialize slices ordered by first op index.
+  std::map<uint32_t, std::vector<OpIndex>> groups;
+  for (OpIndex i = 0; i < n; ++i) groups[uf.Find(i)].push_back(i);
+
+  LocalDependencyGraph graph;
+  graph.proc = proc.id;
+  graph.proc_name = proc.name;
+  graph.op_to_slice.resize(n);
+  std::vector<std::pair<OpIndex, uint32_t>> ordered;
+  for (const auto& [root, ops] : groups) ordered.push_back({ops[0], root});
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<SliceId> root_to_slice(n, 0);
+  for (SliceId s = 0; s < ordered.size(); ++s) {
+    root_to_slice[ordered[s].second] = s;
+  }
+  graph.slices.resize(ordered.size());
+  for (SliceId s = 0; s < ordered.size(); ++s) {
+    graph.slices[s].id = s;
+    graph.slices[s].ops = groups[ordered[s].second];
+  }
+  for (OpIndex i = 0; i < n; ++i) {
+    graph.op_to_slice[i] = root_to_slice[uf.Find(i)];
+  }
+
+  // Step 4 (build graph): edge si -> sj if some op in sj flow-depends on
+  // some op in si.
+  for (OpIndex j = 0; j < n; ++j) {
+    SliceId sj = graph.op_to_slice[j];
+    for (OpIndex i : proc.ops[j].flow_deps) {
+      SliceId si = graph.op_to_slice[i];
+      if (si == sj) continue;
+      auto& deps = graph.slices[sj].deps;
+      if (std::find(deps.begin(), deps.end(), si) == deps.end()) {
+        deps.push_back(si);
+        graph.slices[si].children.push_back(sj);
+      }
+    }
+  }
+  for (Slice& s : graph.slices) {
+    std::sort(s.deps.begin(), s.deps.end());
+    std::sort(s.children.begin(), s.children.end());
+  }
+  return graph;
+}
+
+std::string LocalGraphToDot(const LocalDependencyGraph& graph,
+                            const proc::ProcedureDef& proc) {
+  std::string out = "digraph \"" + graph.proc_name + "\" {\n";
+  for (const Slice& s : graph.slices) {
+    out += "  s" + std::to_string(s.id) + " [shape=box,label=\"Slice " +
+           std::to_string(s.id) + "\\n";
+    for (OpIndex op : s.ops) {
+      const auto& o = proc.ops[op];
+      const char* t = o.type == proc::OpType::kRead      ? "read"
+                      : o.type == proc::OpType::kWrite   ? "write"
+                      : o.type == proc::OpType::kInsert  ? "insert"
+                                                         : "delete";
+      out += std::string(t) + "(" + o.table_name + ")\\n";
+    }
+    out += "\"];\n";
+  }
+  for (const Slice& s : graph.slices) {
+    for (SliceId d : s.deps) {
+      out += "  s" + std::to_string(d) + " -> s" + std::to_string(s.id) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pacman::analysis

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Intra-procedure static analysis (paper §4.1.1, Algorithm 1).
+//
+// Decomposes a stored procedure into a maximal set of slices such that
+// (1) mutually data-dependent operations share a slice and (2) slices are
+// convex with respect to intra-slice flow dependencies, then organizes the
+// slices into a DAG (the local dependency graph) whose edges are the flow
+// dependencies between slices.
+#ifndef PACMAN_ANALYSIS_LOCAL_GRAPH_H_
+#define PACMAN_ANALYSIS_LOCAL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "proc/procedure.h"
+
+namespace pacman::analysis {
+
+// A procedure slice: a program-ordered group of operations.
+struct Slice {
+  SliceId id = 0;
+  std::vector<OpIndex> ops;       // Ascending program order.
+  std::vector<SliceId> deps;      // Slices this one flow-depends on.
+  std::vector<SliceId> children;  // Reverse edges.
+};
+
+struct LocalDependencyGraph {
+  ProcId proc = 0;
+  std::string proc_name;
+  std::vector<Slice> slices;            // Ordered by first op index.
+  std::vector<SliceId> op_to_slice;     // Op index -> slice id.
+};
+
+// Algorithm 1: build the slice decomposition and local dependency graph.
+LocalDependencyGraph BuildLocalGraph(const proc::ProcedureDef& proc);
+
+// Graphviz rendering (Figs. 2, 5a/b).
+std::string LocalGraphToDot(const LocalDependencyGraph& graph,
+                            const proc::ProcedureDef& proc);
+
+}  // namespace pacman::analysis
+
+#endif  // PACMAN_ANALYSIS_LOCAL_GRAPH_H_

@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Small project-wide helper macros.
+#ifndef PACMAN_COMMON_MACROS_H_
+#define PACMAN_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+// Disallows copy construction and copy assignment.
+#define PACMAN_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;       \
+  TypeName& operator=(const TypeName&) = delete
+
+// Disallows copy and move entirely.
+#define PACMAN_DISALLOW_COPY_AND_MOVE(TypeName) \
+  PACMAN_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;                \
+  TypeName& operator=(TypeName&&) = delete
+
+// An always-on assertion used for invariants that must hold even in release
+// builds (e.g., recovery correctness checks in the engine itself).
+#define PACMAN_CHECK(condition)                                          \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "PACMAN_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+// Debug-only assertion for hot paths.
+#define PACMAN_DCHECK(condition) assert(condition)
+
+#endif  // PACMAN_COMMON_MACROS_H_

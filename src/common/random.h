@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Deterministic fast RNG plus the TPC-C NURand generator. Header-only.
+#ifndef PACMAN_COMMON_RANDOM_H_
+#define PACMAN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pacman {
+
+// xoshiro256** — fast, decent-quality PRNG, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) {
+    // SplitMix64 expansion of the seed.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % (hi - lo + 1));
+  }
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((UniformInt(0, a) | UniformInt(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  // Random fixed-length alphanumeric string.
+  std::string AlphaString(size_t n) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out(n, ' ');
+    for (size_t i = 0; i < n; ++i) out[i] = kChars[Next() % 62];
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_RANDOM_H_

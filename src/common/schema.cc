@@ -1,0 +1,39 @@
+#include "common/schema.h"
+
+namespace pacman {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (const ColumnDef& c : columns_) {
+    switch (c.type) {
+      case ValueType::kInt64:
+        row_byte_size_ += 8;
+        break;
+      case ValueType::kDouble:
+        row_byte_size_ += 8;
+        break;
+      case ValueType::kString:
+        row_byte_size_ += (c.fixed_width > 0 ? c.fixed_width : 16);
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace pacman

@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Table schemas: named, typed columns. The engine stores rows as
+// vectors of Value; the schema provides naming, validation and the
+// serialized width estimate used by the physical/logical log size model.
+#ifndef PACMAN_COMMON_SCHEMA_H_
+#define PACMAN_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pacman {
+
+// A single column definition. `fixed_width` is the on-disk width used for
+// fixed-size string columns (mirrors TPC-C's CHAR(n) fields) so that log
+// size accounting matches a real record layout.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  uint32_t fixed_width = 0;  // Only meaningful for kString columns.
+};
+
+// Immutable description of a table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& Column(size_t i) const { return columns_[i]; }
+  // Returns the index of `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  // Serialized width in bytes of one row under this schema (the physical /
+  // logical log record payload size for a full-row image).
+  size_t RowByteSize() const { return row_byte_size_; }
+
+  // True if `row` matches the column count and types (nulls always allowed).
+  bool Validate(const Row& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  size_t row_byte_size_ = 0;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "common/serializer.h"
+
+namespace pacman {
+
+void Serializer::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutI64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(v.AsString());
+      break;
+  }
+}
+
+void Serializer::PutRow(const Row& row) {
+  PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+Status Deserializer::GetString(std::string* out) {
+  uint32_t n = 0;
+  Status s = GetU32(&n);
+  if (!s.ok()) return s;
+  if (pos_ + n > size_) return Status::Corruption("string underflow");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status Deserializer::GetValue(Value* out) {
+  uint8_t tag = 0;
+  Status s = GetU8(&tag);
+  if (!s.ok()) return s;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return Status::Ok();
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      s = GetI64(&v);
+      if (!s.ok()) return s;
+      *out = Value(v);
+      return Status::Ok();
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      s = GetDouble(&v);
+      if (!s.ok()) return s;
+      *out = Value(v);
+      return Status::Ok();
+    }
+    case ValueType::kString: {
+      std::string v;
+      s = GetString(&v);
+      if (!s.ok()) return s;
+      *out = Value(std::move(v));
+      return Status::Ok();
+    }
+  }
+  return Status::Corruption("bad value tag");
+}
+
+Status Deserializer::GetRow(Row* out) {
+  uint32_t n = 0;
+  Status s = GetU32(&n);
+  if (!s.ok()) return s;
+  if (n > remaining()) return Status::Corruption("row length too large");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    s = GetValue(&v);
+    if (!s.ok()) return s;
+    out->push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pacman

@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Byte-oriented serialization used by the log record formats and the
+// checkpointer. Little-endian, length-prefixed strings.
+#ifndef PACMAN_COMMON_SERIALIZER_H_
+#define PACMAN_COMMON_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pacman {
+
+// Appends primitive values to a growable byte buffer.
+class Serializer {
+ public:
+  Serializer() = default;
+  explicit Serializer(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  void PutValue(const Value& v);
+  void PutRow(const Row& row);
+
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Reads primitives back out of a byte span. All getters return
+// kCorruption on underflow so log-replay can reject truncated batches.
+class Deserializer {
+ public:
+  Deserializer(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit Deserializer(const std::vector<uint8_t>& buf)
+      : Deserializer(buf.data(), buf.size()) {}
+
+  Status GetU8(uint8_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU32(uint32_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU64(uint64_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetI64(int64_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetString(std::string* out);
+  Status GetValue(Value* out);
+  Status GetRow(Row* out);
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status GetRaw(void* out, size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("serializer underflow");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_SERIALIZER_H_

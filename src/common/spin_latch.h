@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Spin latches used by the storage engine and the latched recovery schemes
+// (PLR / LLR). Latch acquisitions during recovery are counted so that the
+// benchmark harness can attribute synchronization overhead (Fig. 15).
+#ifndef PACMAN_COMMON_SPIN_LATCH_H_
+#define PACMAN_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace pacman {
+
+// Test-and-test-and-set spin latch. One cache line to avoid false sharing
+// in per-tuple latch arrays.
+class alignas(64) SpinLatch {
+ public:
+  SpinLatch() = default;
+  PACMAN_DISALLOW_COPY_AND_MOVE(SpinLatch);
+
+  void Lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  PACMAN_DISALLOW_COPY_AND_MOVE(SpinLatchGuard);
+
+ private:
+  SpinLatch& latch_;
+};
+
+// Reader-writer spin latch (writer-preferring is not needed here; the
+// engine uses short critical sections only).
+class alignas(64) RwSpinLatch {
+ public:
+  RwSpinLatch() = default;
+  PACMAN_DISALLOW_COPY_AND_MOVE(RwSpinLatch);
+
+  void LockShared() {
+    while (true) {
+      uint32_t v = state_.load(std::memory_order_relaxed);
+      if ((v & kWriterBit) == 0 &&
+          state_.compare_exchange_weak(v, v + 1,
+                                       std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    while (true) {
+      uint32_t v = state_.load(std::memory_order_relaxed);
+      if (v == 0 && state_.compare_exchange_weak(v, kWriterBit,
+                                                 std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  void UnlockExclusive() { state_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriterBit = 0x80000000u;
+  std::atomic<uint32_t> state_{0};
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_SPIN_LATCH_H_

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Lightweight status object used for fallible engine operations.
+#ifndef PACMAN_COMMON_STATUS_H_
+#define PACMAN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pacman {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,        // Transaction aborted (conflict).
+  kInvalidArgument,
+  kCorruption,     // Log / checkpoint deserialization failure.
+  kInternal,
+};
+
+// Value-semantic status; cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Aborted(std::string m = "aborted") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_.empty() ? "error" : message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Fundamental identifier and timestamp types shared across the engine.
+#ifndef PACMAN_COMMON_TYPES_H_
+#define PACMAN_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pacman {
+
+// Identifier of a table in the catalog.
+using TableId = uint32_t;
+
+// Candidate key of a tuple. Composite benchmark keys (e.g. TPC-C
+// (w_id, d_id, c_id)) are bit-packed into 64 bits by the workloads.
+using Key = uint64_t;
+
+// Monotone commit timestamp assigned by the transaction manager. Also used
+// as the version-visibility timestamp in MVCC version chains.
+using Timestamp = uint64_t;
+
+// Global commit order ticket of a transaction (its position in the durable
+// log stream). Recovery replays transactions in CommitOrder.
+using CommitOrder = uint64_t;
+
+// Group-commit epoch number (Silo-style).
+using Epoch = uint64_t;
+
+// Stored procedure identifier (index into the ProcedureRegistry).
+using ProcId = uint32_t;
+
+// Index of an operation within a stored procedure body.
+using OpIndex = uint32_t;
+
+// Index of a slice within a procedure / of a block within the GDG.
+using SliceId = uint32_t;
+using BlockId = uint32_t;
+
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+inline constexpr Timestamp kInvalidTimestamp = 0;
+inline constexpr TableId kInvalidTableId =
+    std::numeric_limits<TableId>::max();
+inline constexpr ProcId kAdhocProcId = std::numeric_limits<ProcId>::max();
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_TYPES_H_

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Typed column values. Rows in the storage engine are vectors of Value.
+#ifndef PACMAN_COMMON_VALUE_H_
+#define PACMAN_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pacman {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+// A dynamically typed column value. Kept deliberately small: the engine's
+// benchmarks (TPC-C, Smallbank) only need integers, doubles and strings.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), i_(0), d_(0) {}
+  explicit Value(int64_t v) : type_(ValueType::kInt64), i_(v), d_(0) {}
+  explicit Value(double v) : type_(ValueType::kDouble), i_(0), d_(v) {}
+  explicit Value(std::string v)
+      : type_(ValueType::kString), i_(0), d_(0), s_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt64() const {
+    PACMAN_DCHECK(type_ == ValueType::kInt64);
+    return i_;
+  }
+  double AsDouble() const {
+    PACMAN_DCHECK(type_ == ValueType::kDouble || type_ == ValueType::kInt64);
+    return type_ == ValueType::kInt64 ? static_cast<double>(i_) : d_;
+  }
+  const std::string& AsString() const {
+    PACMAN_DCHECK(type_ == ValueType::kString);
+    return s_;
+  }
+
+  // Arithmetic used by stored-procedure expressions. Int op int stays int;
+  // anything involving a double promotes to double.
+  Value Add(const Value& other) const;
+  Value Sub(const Value& other) const;
+  Value Mul(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Stable 64-bit hash (used for database content fingerprints in the
+  // recovery correctness checks).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t i_;
+  double d_;
+  std::string s_;
+};
+
+// A row is an ordered tuple of column values matching a Schema.
+using Row = std::vector<Value>;
+
+// Stable hash of a whole row.
+uint64_t HashRow(const Row& row);
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_VALUE_H_

@@ -1,0 +1,58 @@
+#include "device/simulated_ssd.h"
+
+#include <algorithm>
+
+namespace pacman::device {
+
+void SimulatedSsd::WriteFile(const std::string& name,
+                             std::vector<uint8_t> bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  total_bytes_written_ += bytes.size();
+  files_[name] = std::move(bytes);
+}
+
+void SimulatedSsd::AppendFile(const std::string& name,
+                              const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  total_bytes_written_ += bytes.size();
+  auto& f = files_[name];
+  f.insert(f.end(), bytes.begin(), bytes.end());
+}
+
+Status SimulatedSsd::ReadFile(const std::string& name,
+                              const std::vector<uint8_t>** out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no file: " + name);
+  *out = &it->second;
+  return Status::Ok();
+}
+
+bool SimulatedSsd::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> SimulatedSsd::ListFiles(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, bytes] : files_) {
+    if (name.rfind(prefix, 0) == 0) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SimulatedSsd::RemoveAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  files_.clear();
+}
+
+size_t SimulatedSsd::FileSize(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+}  // namespace pacman::device

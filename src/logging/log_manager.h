@@ -1,0 +1,114 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Logger threads and group commit (paper §3, Appendix A).
+//
+// Committed transactions are routed to one of N loggers; each logger packs
+// the records of an epoch together and flushes them with one write+fsync
+// per epoch (group commit). A logger closes its current batch file every
+// `epochs_per_batch` epochs. The pepoch watermark advances once every
+// logger has persisted an epoch.
+//
+// The host has one core, so loggers are passive objects driven at epoch
+// boundaries by the database runtime; the virtual-time cost of each flush
+// (bytes/bandwidth + fsync latency) is returned to the caller, which feeds
+// the logging-performance simulations (Figs. 11-12, Tables 1-3). The bytes
+// are real serialized bytes.
+#ifndef PACMAN_LOGGING_LOG_MANAGER_H_
+#define PACMAN_LOGGING_LOG_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/serializer.h"
+#include "device/simulated_ssd.h"
+#include "logging/log_record.h"
+#include "logging/log_store.h"
+#include "storage/catalog.h"
+#include "txn/epoch_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace pacman::logging {
+
+// Per-epoch flush cost of one logger.
+struct FlushCost {
+  double seconds = 0.0;
+  uint64_t bytes = 0;
+};
+
+class Logger {
+ public:
+  Logger(uint32_t id, LogScheme scheme, device::SimulatedSsd* ssd,
+         uint32_t epochs_per_batch);
+  PACMAN_DISALLOW_COPY_AND_MOVE(Logger);
+
+  // Appends one record to the current epoch buffer (thread-safe).
+  void Append(const LogRecord& record);
+
+  // Group commit: flushes the current epoch buffer to the batch file and
+  // fsyncs. Closes the batch file every epochs_per_batch epochs.
+  FlushCost FlushEpoch(Epoch epoch);
+
+  // Closes the in-progress batch (on shutdown / crash boundary).
+  void Finalize();
+
+  uint64_t bytes_logged() const { return bytes_logged_; }
+  uint64_t batches_written() const { return batch_seq_; }
+  uint32_t id() const { return id_; }
+
+ private:
+  void CloseBatch();
+
+  const uint32_t id_;
+  const LogScheme scheme_;
+  device::SimulatedSsd* ssd_;
+  const uint32_t epochs_per_batch_;
+
+  std::mutex mu_;
+  LogBatch current_;
+  uint64_t batch_seq_ = 0;
+  uint32_t epochs_in_batch_ = 0;
+  uint64_t bytes_logged_ = 0;
+  size_t unflushed_records_ = 0;
+  size_t unflushed_bytes_ = 0;
+};
+
+class LogManager {
+ public:
+  LogManager(LogScheme scheme, std::vector<device::SimulatedSsd*> ssds,
+             uint32_t num_loggers, uint32_t epochs_per_batch,
+             txn::EpochManager* epochs);
+  PACMAN_DISALLOW_COPY_AND_MOVE(LogManager);
+
+  // Commit hook body: builds the record for `txn` and routes it to a
+  // logger. No-op when the scheme is kOff.
+  void OnCommit(const txn::Transaction& txn, const txn::CommitInfo& info);
+
+  // Flushes all loggers for the epoch that just ended and advances pepoch.
+  // Returns the max flush cost across loggers (they run in parallel on
+  // separate devices) — the group-commit latency contribution.
+  FlushCost FlushAll(Epoch epoch);
+
+  // Closes all in-progress batches (pre-crash boundary in benchmarks: the
+  // paper recovers only committed/persisted transactions).
+  void FinalizeAll();
+
+  LogScheme scheme() const { return scheme_; }
+  uint64_t total_bytes() const;
+  size_t num_loggers() const { return loggers_.size(); }
+  const std::vector<device::SimulatedSsd*>& ssds() const { return ssds_; }
+
+ private:
+  const LogScheme scheme_;
+  std::vector<device::SimulatedSsd*> ssds_;
+  txn::EpochManager* epochs_;
+  std::vector<std::unique_ptr<Logger>> loggers_;
+};
+
+// Builds the log record for a committed transaction under `scheme`.
+LogRecord MakeRecord(LogScheme scheme, const txn::Transaction& txn,
+                     const txn::CommitInfo& info);
+
+}  // namespace pacman::logging
+
+#endif  // PACMAN_LOGGING_LOG_MANAGER_H_

@@ -1,0 +1,146 @@
+#include "logging/log_record.h"
+
+#include "common/macros.h"
+
+namespace pacman::logging {
+
+const char* LogSchemeName(LogScheme scheme) {
+  switch (scheme) {
+    case LogScheme::kOff:
+      return "OFF";
+    case LogScheme::kPhysical:
+      return "PL";
+    case LogScheme::kLogical:
+      return "LL";
+    case LogScheme::kCommand:
+      return "CL";
+  }
+  return "?";
+}
+
+namespace {
+
+void SerializeWriteLogical(const WriteImage& w, Serializer* out) {
+  out->PutU32(w.table);
+  out->PutU64(w.key);
+  out->PutU8(w.deleted ? 1 : 0);
+  out->PutRow(w.after);
+}
+
+void SerializeWritePhysical(const WriteImage& w, Serializer* out) {
+  // Physical logging must additionally record the locations of the old and
+  // new versions of the tuple (§6.1.1); in a main-memory engine those are
+  // two 8-byte pointers.
+  out->PutU64(reinterpret_cast<uint64_t>(&w));  // New version address.
+  out->PutU64(reinterpret_cast<uint64_t>(&w) ^ 0x5bd1e995);  // Old version.
+  SerializeWriteLogical(w, out);
+}
+
+Status DeserializeWrite(LogScheme scheme, Deserializer* in, WriteImage* w) {
+  if (scheme == LogScheme::kPhysical) {
+    uint64_t addr;
+    Status s = in->GetU64(&addr);
+    if (!s.ok()) return s;
+    s = in->GetU64(&addr);
+    if (!s.ok()) return s;
+  }
+  Status s = in->GetU32(&w->table);
+  if (!s.ok()) return s;
+  s = in->GetU64(&w->key);
+  if (!s.ok()) return s;
+  uint8_t deleted;
+  s = in->GetU8(&deleted);
+  if (!s.ok()) return s;
+  w->deleted = deleted != 0;
+  return in->GetRow(&w->after);
+}
+
+}  // namespace
+
+void SerializeRecord(LogScheme scheme, const LogRecord& record,
+                     Serializer* out) {
+  PACMAN_CHECK(scheme != LogScheme::kOff);
+  out->PutU64(record.commit_ts);
+  out->PutU64(record.epoch);
+  switch (scheme) {
+    case LogScheme::kPhysical:
+    case LogScheme::kLogical: {
+      out->PutU32(static_cast<uint32_t>(record.writes.size()));
+      for (const WriteImage& w : record.writes) {
+        if (scheme == LogScheme::kPhysical) {
+          SerializeWritePhysical(w, out);
+        } else {
+          SerializeWriteLogical(w, out);
+        }
+      }
+      break;
+    }
+    case LogScheme::kCommand: {
+      out->PutU32(record.proc);
+      if (record.is_adhoc()) {
+        // Ad-hoc transaction: row-level logical images (§4.5).
+        out->PutU32(static_cast<uint32_t>(record.writes.size()));
+        for (const WriteImage& w : record.writes) {
+          SerializeWriteLogical(w, out);
+        }
+      } else {
+        out->PutU32(static_cast<uint32_t>(record.params.size()));
+        for (const Value& v : record.params) out->PutValue(v);
+      }
+      break;
+    }
+    case LogScheme::kOff:
+      break;
+  }
+}
+
+Status DeserializeRecord(LogScheme scheme, Deserializer* in,
+                         LogRecord* record) {
+  record->params.clear();
+  record->writes.clear();
+  Status s = in->GetU64(&record->commit_ts);
+  if (!s.ok()) return s;
+  s = in->GetU64(&record->epoch);
+  if (!s.ok()) return s;
+  switch (scheme) {
+    case LogScheme::kPhysical:
+    case LogScheme::kLogical: {
+      record->proc = kAdhocProcId;
+      uint32_t n;
+      s = in->GetU32(&n);
+      if (!s.ok()) return s;
+      record->writes.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        s = DeserializeWrite(scheme, in, &record->writes[i]);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+    case LogScheme::kCommand: {
+      s = in->GetU32(&record->proc);
+      if (!s.ok()) return s;
+      uint32_t n;
+      s = in->GetU32(&n);
+      if (!s.ok()) return s;
+      if (record->is_adhoc()) {
+        record->writes.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          s = DeserializeWrite(LogScheme::kLogical, in, &record->writes[i]);
+          if (!s.ok()) return s;
+        }
+      } else {
+        record->params.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          s = in->GetValue(&record->params[i]);
+          if (!s.ok()) return s;
+        }
+      }
+      return Status::Ok();
+    }
+    case LogScheme::kOff:
+      return Status::InvalidArgument("cannot deserialize with scheme OFF");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace pacman::logging

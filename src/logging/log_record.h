@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Log record formats for the three logging schemes (paper §2.1).
+//
+//  - Physical logging (PL): per modified tuple, the after image plus the
+//    physical locations of the old and new versions.
+//  - Logical logging (LL): per modified tuple, the after image only.
+//  - Command logging (CL): per transaction, the stored procedure id and
+//    its parameter values. Ad-hoc transactions inside a CL stream carry
+//    row-level logical images instead (§4.5).
+// All records carry the commit timestamp (= commit order) and the epoch.
+#ifndef PACMAN_LOGGING_LOG_RECORD_H_
+#define PACMAN_LOGGING_LOG_RECORD_H_
+
+#include <vector>
+
+#include "common/serializer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace pacman::logging {
+
+enum class LogScheme : uint8_t {
+  kOff = 0,
+  kPhysical = 1,
+  kLogical = 2,
+  kCommand = 3,
+};
+
+const char* LogSchemeName(LogScheme scheme);
+
+// One tuple modification (after image).
+struct WriteImage {
+  TableId table = 0;
+  Key key = 0;
+  Row after;
+  bool deleted = false;
+};
+
+// One committed transaction's log entry.
+struct LogRecord {
+  Timestamp commit_ts = kInvalidTimestamp;
+  Epoch epoch = 0;
+  // Command-logging payload. proc == kAdhocProcId marks an ad-hoc
+  // transaction whose `writes` are logged logically even under CL.
+  ProcId proc = kAdhocProcId;
+  std::vector<Value> params;
+  // Tuple-level payload (always filled for PL/LL; for CL only when adhoc).
+  std::vector<WriteImage> writes;
+
+  bool is_adhoc() const { return proc == kAdhocProcId; }
+};
+
+// Serializes `record` in the format of `scheme`, appending to `out`.
+void SerializeRecord(LogScheme scheme, const LogRecord& record,
+                     Serializer* out);
+
+// Deserializes one record written by SerializeRecord with the same scheme.
+Status DeserializeRecord(LogScheme scheme, Deserializer* in,
+                         LogRecord* record);
+
+}  // namespace pacman::logging
+
+#endif  // PACMAN_LOGGING_LOG_RECORD_H_

@@ -1,0 +1,87 @@
+#include "logging/log_store.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/serializer.h"
+
+namespace pacman::logging {
+
+namespace {
+constexpr uint32_t kBatchMagic = 0x50414342;  // "PACB"
+}  // namespace
+
+std::string LogStore::BatchFileName(uint32_t logger_id, uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "log_%02u_%08llu.batch", logger_id,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::vector<uint8_t> LogStore::SerializeBatch(LogScheme scheme,
+                                              const LogBatch& batch) {
+  Serializer out(4096);
+  out.PutU32(kBatchMagic);
+  out.PutU32(batch.logger_id);
+  out.PutU64(batch.seq);
+  out.PutU64(batch.first_epoch);
+  out.PutU64(batch.last_epoch);
+  out.PutU32(static_cast<uint32_t>(batch.records.size()));
+  for (const LogRecord& r : batch.records) {
+    SerializeRecord(scheme, r, &out);
+  }
+  return out.Release();
+}
+
+Status LogStore::DeserializeBatch(LogScheme scheme,
+                                  const std::vector<uint8_t>& bytes,
+                                  LogBatch* out) {
+  Deserializer in(bytes);
+  uint32_t magic;
+  Status s = in.GetU32(&magic);
+  if (!s.ok()) return s;
+  if (magic != kBatchMagic) return Status::Corruption("bad batch magic");
+  s = in.GetU32(&out->logger_id);
+  if (!s.ok()) return s;
+  s = in.GetU64(&out->seq);
+  if (!s.ok()) return s;
+  s = in.GetU64(&out->first_epoch);
+  if (!s.ok()) return s;
+  s = in.GetU64(&out->last_epoch);
+  if (!s.ok()) return s;
+  uint32_t n;
+  s = in.GetU32(&n);
+  if (!s.ok()) return s;
+  out->records.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    s = DeserializeRecord(scheme, &in, &out->records[i]);
+    if (!s.ok()) return s;
+  }
+  out->file_bytes = bytes.size();
+  return Status::Ok();
+}
+
+Status LogStore::LoadAllBatches(
+    LogScheme scheme, const std::vector<device::SimulatedSsd*>& ssds,
+    std::vector<LogBatch>* out) {
+  out->clear();
+  for (device::SimulatedSsd* ssd : ssds) {
+    for (const std::string& name : ssd->ListFiles("log_")) {
+      const std::vector<uint8_t>* bytes = nullptr;
+      Status s = ssd->ReadFile(name, &bytes);
+      if (!s.ok()) return s;
+      LogBatch batch;
+      s = DeserializeBatch(scheme, *bytes, &batch);
+      if (!s.ok()) return s;
+      out->push_back(std::move(batch));
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const LogBatch& a, const LogBatch& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.logger_id < b.logger_id;
+            });
+  return Status::Ok();
+}
+
+}  // namespace pacman::logging

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Log batch files (paper §3, Appendix A).
+//
+// Each logger truncates its log stream into finite-size batches, one file
+// per batch, holding the records of a fixed number of epochs. Batches are
+// the unit of reloading and of PACMAN's inter-batch pipelining.
+#ifndef PACMAN_LOGGING_LOG_STORE_H_
+#define PACMAN_LOGGING_LOG_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "device/simulated_ssd.h"
+#include "logging/log_record.h"
+
+namespace pacman::logging {
+
+// A reloaded batch.
+struct LogBatch {
+  uint32_t logger_id = 0;
+  uint64_t seq = 0;  // Batch sequence number within the logger's stream.
+  Epoch first_epoch = 0;
+  Epoch last_epoch = 0;
+  size_t file_bytes = 0;  // Size of the batch file on its device.
+  std::vector<LogRecord> records;  // Ascending commit_ts.
+};
+
+// File naming and batch (de)serialization.
+class LogStore {
+ public:
+  static std::string BatchFileName(uint32_t logger_id, uint64_t seq);
+  static std::string PepochFileName() { return "pepoch.log"; }
+
+  // Serializes a full batch file (header + records).
+  static std::vector<uint8_t> SerializeBatch(LogScheme scheme,
+                                             const LogBatch& batch);
+
+  // Parses a batch file.
+  static Status DeserializeBatch(LogScheme scheme,
+                                 const std::vector<uint8_t>& bytes,
+                                 LogBatch* out);
+
+  // Loads and merges the batch streams of all loggers from their SSDs into
+  // a single sequence ordered by (seq, logger), i.e., global reload order.
+  // Interleaves loggers within each seq so commit order is restored when
+  // batches' records are merged by commit_ts downstream.
+  static Status LoadAllBatches(
+      LogScheme scheme,
+      const std::vector<device::SimulatedSsd*>& ssds,
+      std::vector<LogBatch>* out);
+};
+
+}  // namespace pacman::logging
+
+#endif  // PACMAN_LOGGING_LOG_STORE_H_

@@ -1,0 +1,225 @@
+#include "pacman/database.h"
+
+#include <algorithm>
+
+#include "recovery/checkpoint_recovery.h"
+#include "recovery/clr.h"
+#include "recovery/clr_p.h"
+#include "recovery/executor.h"
+#include "recovery/tuple_replay.h"
+#include "sim/machine.h"
+
+namespace pacman {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      registry_(&catalog_),
+      epochs_(options.num_loggers),
+      txn_manager_(&epochs_) {
+  PACMAN_CHECK(options_.num_ssds >= 1);
+  for (uint32_t d = 0; d < options_.num_ssds; ++d) {
+    ssds_.push_back(
+        std::make_unique<device::SimulatedSsd>(options_.ssd_config));
+  }
+  log_manager_ = std::make_unique<logging::LogManager>(
+      options_.scheme, ssd_ptrs(), options_.num_loggers,
+      options_.epochs_per_batch, &epochs_);
+  checkpointer_ = std::make_unique<logging::Checkpointer>(
+      &catalog_, options_.scheme, ssd_ptrs());
+  txn_manager_.set_commit_hook(
+      [this](const txn::Transaction& t, const txn::CommitInfo& info) {
+        log_manager_->OnCommit(t, info);
+      });
+}
+
+Database::~Database() = default;
+
+std::vector<device::SimulatedSsd*> Database::ssd_ptrs() {
+  std::vector<device::SimulatedSsd*> out;
+  out.reserve(ssds_.size());
+  for (auto& s : ssds_) out.push_back(s.get());
+  return out;
+}
+
+void Database::FinalizeSchema() {
+  ldgs_.clear();
+  for (const proc::ProcedureDef& def : registry_.procedures()) {
+    ldgs_.push_back(analysis::BuildLocalGraph(def));
+  }
+  gdg_ = analysis::BuildGlobalGraph(ldgs_, registry_.procedures());
+  schema_finalized_ = true;
+}
+
+analysis::GlobalDependencyGraph Database::BuildChoppingGdg() const {
+  std::vector<analysis::LocalDependencyGraph> chopped =
+      analysis::BuildChoppingGraphs(registry_.procedures());
+  return analysis::BuildGlobalGraph(chopped, registry_.procedures());
+}
+
+Status Database::ExecuteProcedure(ProcId proc,
+                                  const std::vector<Value>& params,
+                                  bool adhoc, int max_retries) {
+  PACMAN_CHECK(!crashed_);
+  const proc::ProcedureDef& def = registry_.Get(proc);
+  Status last = Status::Internal("not attempted");
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    txn::Transaction t = txn_manager_.Begin();
+    proc::TxnAccess access(&catalog_, &t);
+    proc::ProcState state(&def, params);
+    Status s = proc::ExecuteAll(&state, &access);
+    if (!s.ok()) return s;
+    t.SetLogContext(proc, &params, adhoc);
+    txn::CommitInfo info;
+    s = txn_manager_.Commit(&t, &info);
+    if (s.ok()) {
+      num_commits_++;
+      if (options_.commits_per_epoch != 0 &&
+          num_commits_ % options_.commits_per_epoch == 0) {
+        AdvanceEpoch();
+      }
+      return s;
+    }
+    last = s;
+  }
+  return last;
+}
+
+logging::FlushCost Database::AdvanceEpoch() {
+  const Epoch finished = epochs_.current();
+  epochs_.Advance();
+  logging::FlushCost cost = log_manager_->FlushAll(finished);
+  total_flush_seconds_ += cost.seconds;
+  return cost;
+}
+
+logging::CheckpointMeta Database::TakeCheckpoint() {
+  return checkpointer_->TakeCheckpoint(next_ckpt_id_++,
+                                       txn_manager_.LastCommitted(),
+                                       options_.ckpt_files_per_ssd);
+}
+
+void Database::Crash() {
+  PACMAN_CHECK(!crashed_);
+  // Close the log streams at the crash boundary: everything the loggers
+  // received is durable (group commit released results only up to pepoch,
+  // so recovering slightly more than pepoch is always safe).
+  AdvanceEpoch();
+  log_manager_->FinalizeAll();
+  catalog_.ResetAllTables();
+  crashed_ = true;
+}
+
+FullRecoveryResult Database::Recover(recovery::Scheme scheme,
+                                     const recovery::RecoveryOptions& opts,
+                                     ExecutionBackend backend) {
+  PACMAN_CHECK(crashed_);
+  PACMAN_CHECK(schema_finalized_);
+  // Scheme/log-format compatibility (§6.2).
+  switch (scheme) {
+    case recovery::Scheme::kPlr:
+      PACMAN_CHECK(options_.scheme == logging::LogScheme::kPhysical);
+      break;
+    case recovery::Scheme::kLlr:
+    case recovery::Scheme::kLlrP:
+      PACMAN_CHECK(options_.scheme == logging::LogScheme::kLogical);
+      break;
+    case recovery::Scheme::kClr:
+    case recovery::Scheme::kClrP:
+      PACMAN_CHECK(options_.scheme == logging::LogScheme::kCommand);
+      break;
+  }
+
+  FullRecoveryResult result;
+  const uint32_t num_ssds = options_.num_ssds;
+  std::vector<device::SimulatedSsd*> devices = ssd_ptrs();
+
+  // --- Stage 1: checkpoint recovery -------------------------------------
+  logging::CheckpointMeta meta;
+  Status s = checkpointer_->ReadLatestMeta(&meta);
+  PACMAN_CHECK(s.ok());
+  {
+    sim::TaskGraph graph;
+    recovery::RecoveryCounters counters;
+    recovery::BuildCheckpointRecovery(meta, checkpointer_.get(), devices,
+                                      &catalog_, scheme, opts, &graph,
+                                      &counters);
+    if (backend == ExecutionBackend::kSimulated) {
+      sim::Machine machine(
+          recovery::StandardMachine(num_ssds, opts.num_threads));
+      result.checkpoint.seconds = machine.Run(graph).makespan;
+    } else {
+      result.checkpoint.seconds =
+          recovery::RunOnThreads(&graph, opts.num_threads);
+    }
+    counters.FillStats(&result.checkpoint);
+  }
+
+  // --- Stage 2: log recovery ---------------------------------------------
+  std::vector<logging::LogBatch> raw_batches;
+  s = logging::LogStore::LoadAllBatches(options_.scheme, devices,
+                                        &raw_batches);
+  PACMAN_CHECK(s.ok());
+  recovery::RecoveryOptions log_opts = opts;
+  log_opts.checkpoint_ts = meta.ts;
+  // Replay only up to the pepoch watermark: results past it were never
+  // released to clients (Appendix A). Absent file => replay everything.
+  Epoch pepoch = kMaxTimestamp;
+  {
+    const std::vector<uint8_t>* pbytes = nullptr;
+    if (devices[0]->ReadFile(logging::LogStore::PepochFileName(), &pbytes)
+            .ok()) {
+      Deserializer in(*pbytes);
+      PACMAN_CHECK(in.GetU64(&pepoch).ok());
+    }
+  }
+  std::vector<recovery::GlobalBatch> batches =
+      recovery::MergeBatches(raw_batches, num_ssds, meta.ts, pepoch);
+
+  Timestamp max_cts = meta.ts;
+  for (const auto& b : batches) {
+    for (const auto* r : b.records) max_cts = std::max(max_cts, r->commit_ts);
+  }
+
+  {
+    sim::TaskGraph graph;
+    recovery::RecoveryCounters counters;
+    sim::MachineConfig machine_config =
+        recovery::StandardMachine(num_ssds, log_opts.num_threads);
+    switch (scheme) {
+      case recovery::Scheme::kPlr:
+      case recovery::Scheme::kLlr:
+      case recovery::Scheme::kLlrP:
+        recovery::BuildTupleLogReplay(scheme, batches, devices, &catalog_,
+                                      log_opts, &graph, &counters);
+        break;
+      case recovery::Scheme::kClr:
+        recovery::BuildClrReplay(batches, devices, &catalog_, &registry_,
+                                 log_opts, &graph, &counters);
+        break;
+      case recovery::Scheme::kClrP: {
+        const analysis::GlobalDependencyGraph* gdg =
+            log_opts.gdg_override != nullptr ? log_opts.gdg_override : &gdg_;
+        recovery::ClrPLayout layout = recovery::PlanClrPLayout(
+            *gdg, batches, &registry_, num_ssds, log_opts);
+        recovery::BuildClrPReplay(*gdg, batches, devices, &catalog_,
+                                  &registry_, log_opts, layout, &graph,
+                                  &counters);
+        machine_config = layout.machine;
+        break;
+      }
+    }
+    if (backend == ExecutionBackend::kSimulated) {
+      sim::Machine machine(machine_config);
+      result.log.seconds = machine.Run(graph).makespan;
+    } else {
+      result.log.seconds = recovery::RunOnThreads(&graph, opts.num_threads);
+    }
+    counters.FillStats(&result.log);
+  }
+
+  txn_manager_.ResetAfterRecovery(max_cts);
+  crashed_ = false;
+  return result;
+}
+
+}  // namespace pacman

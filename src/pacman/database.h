@@ -1,0 +1,144 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Public facade of the PACMAN reproduction library.
+//
+// A Database bundles the storage engine, transaction manager, stored
+// procedure registry, logging/checkpointing pipeline and the recovery
+// subsystem. Typical lifecycle (see examples/quickstart.cc):
+//
+//   pacman::Database db(options);
+//   workload.CreateTables(db.catalog());
+//   workload.RegisterProcedures(db.registry());
+//   workload.Load(db.catalog());
+//   db.FinalizeSchema();            // PACMAN static analysis (compile time)
+//   db.TakeCheckpoint();
+//   ... db.ExecuteProcedure(...) ...
+//   db.Crash();                     // lose main memory
+//   auto result = db.Recover(recovery::Scheme::kClrP, recovery_options);
+#ifndef PACMAN_PACMAN_DATABASE_H_
+#define PACMAN_PACMAN_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/chopping.h"
+#include "analysis/global_graph.h"
+#include "analysis/local_graph.h"
+#include "device/simulated_ssd.h"
+#include "logging/checkpointer.h"
+#include "logging/log_manager.h"
+#include "proc/interpreter.h"
+#include "proc/registry.h"
+#include "recovery/recovery.h"
+#include "storage/catalog.h"
+#include "txn/epoch_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace pacman {
+
+struct DatabaseOptions {
+  logging::LogScheme scheme = logging::LogScheme::kCommand;
+  uint32_t num_ssds = 2;
+  device::SsdConfig ssd_config;
+  uint32_t num_loggers = 2;
+  uint32_t epochs_per_batch = 5;
+  // Epoch auto-advance (and group-commit flush) every N commits; 0 = the
+  // caller drives epochs via AdvanceEpoch().
+  uint32_t commits_per_epoch = 200;
+  uint32_t ckpt_files_per_ssd = 8;
+};
+
+// How recovery graphs execute: on the deterministic simulated multicore
+// machine (virtual time; used by all benchmarks) or on real std::threads
+// (wall-clock; used by the library API and tests).
+enum class ExecutionBackend { kSimulated, kThreads };
+
+struct FullRecoveryResult {
+  recovery::RecoveryStats checkpoint;
+  recovery::RecoveryStats log;
+  double TotalSeconds() const { return checkpoint.seconds + log.seconds; }
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions{});
+  ~Database();
+  PACMAN_DISALLOW_COPY_AND_MOVE(Database);
+
+  storage::Catalog* catalog() { return &catalog_; }
+  proc::ProcedureRegistry* registry() { return &registry_; }
+  txn::TransactionManager* txn_manager() { return &txn_manager_; }
+  txn::EpochManager* epoch_manager() { return &epochs_; }
+  logging::LogManager* log_manager() { return log_manager_.get(); }
+  device::SimulatedSsd* ssd(uint32_t i) { return ssds_[i].get(); }
+  std::vector<device::SimulatedSsd*> ssd_ptrs();
+  const DatabaseOptions& options() const { return options_; }
+
+  // Runs PACMAN's compile-time static analysis over all registered
+  // procedures: local dependency graphs + the global dependency graph.
+  // Call after RegisterProcedures and before Recover.
+  void FinalizeSchema();
+  const analysis::GlobalDependencyGraph& gdg() const { return gdg_; }
+  const std::vector<analysis::LocalDependencyGraph>& ldgs() const {
+    return ldgs_;
+  }
+  // Transaction-chopping GDG over the same procedures (Fig. 18 baseline).
+  analysis::GlobalDependencyGraph BuildChoppingGdg() const;
+
+  // --- Forward processing -----------------------------------------------
+  // Executes one stored-procedure transaction (with OCC retry). `adhoc`
+  // tags it as an ad-hoc request: under command logging its write set is
+  // persisted logically instead of (proc, params) (§4.5).
+  Status ExecuteProcedure(ProcId proc, const std::vector<Value>& params,
+                          bool adhoc = false, int max_retries = 100);
+
+  // Advances the group-commit epoch and flushes all loggers; returns the
+  // flush cost (virtual seconds / bytes).
+  logging::FlushCost AdvanceEpoch();
+  uint64_t commits() const { return num_commits_; }
+  double total_flush_seconds() const { return total_flush_seconds_; }
+
+  // --- Durability --------------------------------------------------------
+  logging::CheckpointMeta TakeCheckpoint();
+
+  // Simulates a crash: closes the log streams at the current boundary and
+  // drops all in-memory table state. The catalog schemas, registry and
+  // static analysis survive (they are compile-time artifacts).
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // --- Recovery -----------------------------------------------------------
+  // Full recovery: checkpoint restore then log replay under `scheme`.
+  // PLR requires scheme kPhysical logs, LLR/LLR-P kLogical, CLR/CLR-P
+  // kCommand (checked). After success the database is open again.
+  FullRecoveryResult Recover(
+      recovery::Scheme scheme, const recovery::RecoveryOptions& options,
+      ExecutionBackend backend = ExecutionBackend::kSimulated);
+
+  // Fingerprint of the committed database content (for recovery checks).
+  uint64_t ContentHash() const {
+    return catalog_.ContentHash(txn_manager_.LastCommitted());
+  }
+
+ private:
+  DatabaseOptions options_;
+  std::vector<std::unique_ptr<device::SimulatedSsd>> ssds_;
+  storage::Catalog catalog_;
+  proc::ProcedureRegistry registry_;
+  txn::EpochManager epochs_;
+  txn::TransactionManager txn_manager_;
+  std::unique_ptr<logging::LogManager> log_manager_;
+  std::unique_ptr<logging::Checkpointer> checkpointer_;
+
+  std::vector<analysis::LocalDependencyGraph> ldgs_;
+  analysis::GlobalDependencyGraph gdg_;
+  bool schema_finalized_ = false;
+
+  uint64_t num_commits_ = 0;
+  uint64_t next_ckpt_id_ = 0;
+  double total_flush_seconds_ = 0.0;
+  bool crashed_ = false;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_PACMAN_DATABASE_H_

@@ -1,0 +1,246 @@
+#include "proc/expr.h"
+
+#include "common/macros.h"
+
+namespace pacman::proc {
+
+ExprPtr Expr::Constant(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kConstant));
+  e->constant_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Param(int index) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kParam));
+  e->index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Field(int local, int column) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kField));
+  e->index_ = local;
+  e->column_ = column;
+  return e;
+}
+
+ExprPtr Expr::LocalExists(int local) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLocalExists));
+  e->index_ = local;
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprKind kind, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(kind));
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Pack(std::vector<ExprPtr> children, std::vector<int> bits) {
+  PACMAN_CHECK(children.size() == bits.size());
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kPack));
+  e->children_ = std::move(children);
+  e->pack_bits_ = std::move(bits);
+  return e;
+}
+
+namespace {
+
+bool ValueTruthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return v.AsInt64() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    return a.AsString().compare(b.AsString());
+  }
+  double da = a.AsDouble(), db = b.AsDouble();
+  if (da < db) return -1;
+  if (da > db) return 1;
+  return 0;
+}
+
+}  // namespace
+
+Value Expr::Eval(const EvalContext& ctx) const {
+  switch (kind_) {
+    case ExprKind::kConstant:
+      return constant_;
+    case ExprKind::kParam:
+      PACMAN_DCHECK(ctx.params != nullptr &&
+                    index_ < static_cast<int>(ctx.params->size()));
+      return (*ctx.params)[index_];
+    case ExprKind::kField: {
+      if (ctx.local_present == nullptr ||
+          index_ >= static_cast<int>(ctx.local_present->size()) ||
+          !(*ctx.local_present)[index_]) {
+        return Value::Null();
+      }
+      const Row& row = (*ctx.locals)[index_];
+      if (column_ >= static_cast<int>(row.size())) return Value::Null();
+      return row[column_];
+    }
+    case ExprKind::kLocalExists: {
+      bool present = ctx.local_present != nullptr &&
+                     index_ < static_cast<int>(ctx.local_present->size()) &&
+                     (*ctx.local_present)[index_];
+      return Value(static_cast<int64_t>(present ? 1 : 0));
+    }
+    case ExprKind::kAdd:
+      return children_[0]->Eval(ctx).Add(children_[1]->Eval(ctx));
+    case ExprKind::kSub:
+      return children_[0]->Eval(ctx).Sub(children_[1]->Eval(ctx));
+    case ExprKind::kMul:
+      return children_[0]->Eval(ctx).Mul(children_[1]->Eval(ctx));
+    case ExprKind::kEq:
+      return Value(static_cast<int64_t>(
+          children_[0]->Eval(ctx) == children_[1]->Eval(ctx) ? 1 : 0));
+    case ExprKind::kNe:
+      return Value(static_cast<int64_t>(
+          children_[0]->Eval(ctx) != children_[1]->Eval(ctx) ? 1 : 0));
+    case ExprKind::kLt:
+      return Value(static_cast<int64_t>(
+          CompareValues(children_[0]->Eval(ctx), children_[1]->Eval(ctx)) < 0
+              ? 1
+              : 0));
+    case ExprKind::kLe:
+      return Value(static_cast<int64_t>(
+          CompareValues(children_[0]->Eval(ctx), children_[1]->Eval(ctx)) <= 0
+              ? 1
+              : 0));
+    case ExprKind::kGt:
+      return Value(static_cast<int64_t>(
+          CompareValues(children_[0]->Eval(ctx), children_[1]->Eval(ctx)) > 0
+              ? 1
+              : 0));
+    case ExprKind::kGe:
+      return Value(static_cast<int64_t>(
+          CompareValues(children_[0]->Eval(ctx), children_[1]->Eval(ctx)) >= 0
+              ? 1
+              : 0));
+    case ExprKind::kAnd:
+      return Value(static_cast<int64_t>(ValueTruthy(children_[0]->Eval(ctx)) &&
+                                                ValueTruthy(children_[1]->Eval(ctx))
+                                            ? 1
+                                            : 0));
+    case ExprKind::kOr:
+      return Value(static_cast<int64_t>(ValueTruthy(children_[0]->Eval(ctx)) ||
+                                                ValueTruthy(children_[1]->Eval(ctx))
+                                            ? 1
+                                            : 0));
+    case ExprKind::kNot:
+      return Value(
+          static_cast<int64_t>(ValueTruthy(children_[0]->Eval(ctx)) ? 0 : 1));
+    case ExprKind::kMod: {
+      int64_t a = children_[0]->Eval(ctx).AsInt64();
+      int64_t m = children_[1]->Eval(ctx).AsInt64();
+      PACMAN_DCHECK(m > 0);
+      return Value(((a % m) + m) % m);
+    }
+    case ExprKind::kPack: {
+      uint64_t key = 0;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        Value v = children_[i]->Eval(ctx);
+        int64_t part = v.is_null() ? 0 : v.AsInt64();
+        PACMAN_DCHECK(part >= 0);
+        key = (key << pack_bits_[i]) | static_cast<uint64_t>(part);
+      }
+      return Value(static_cast<int64_t>(key));
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const EvalContext& ctx) const {
+  return ValueTruthy(Eval(ctx));
+}
+
+Key Expr::EvalKey(const EvalContext& ctx) const {
+  Value v = Eval(ctx);
+  PACMAN_DCHECK(!v.is_null());
+  return static_cast<Key>(v.AsInt64());
+}
+
+void Expr::CollectRefs(std::vector<int>* params,
+                       std::vector<int>* locals) const {
+  switch (kind_) {
+    case ExprKind::kParam:
+      params->push_back(index_);
+      break;
+    case ExprKind::kField:
+    case ExprKind::kLocalExists:
+      locals->push_back(index_);
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : children_) c->CollectRefs(params, locals);
+}
+
+bool Expr::Resolvable(const EvalContext& ctx) const {
+  if (kind_ == ExprKind::kField || kind_ == ExprKind::kLocalExists) {
+    if (ctx.local_present == nullptr ||
+        index_ >= static_cast<int>(ctx.local_present->size()) ||
+        !(*ctx.local_present)[index_]) {
+      // An absent local is still "resolved" for kLocalExists (it evaluates
+      // to false); for kField the value would be Null, which is not a
+      // usable key.
+      return kind_ == ExprKind::kLocalExists;
+    }
+  }
+  for (const ExprPtr& c : children_) {
+    if (!c->Resolvable(ctx)) return false;
+  }
+  return true;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kConstant:
+      return constant_.ToString();
+    case ExprKind::kParam:
+      return "p" + std::to_string(index_);
+    case ExprKind::kField:
+      return "l" + std::to_string(index_) + "." + std::to_string(column_);
+    case ExprKind::kLocalExists:
+      return "exists(l" + std::to_string(index_) + ")";
+    case ExprKind::kNot:
+      return "!(" + children_[0]->ToString() + ")";
+    case ExprKind::kMod:
+      return "(" + children_[0]->ToString() + " % " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kPack: {
+      std::string s = "pack(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) s += ",";
+        s += children_[i]->ToString();
+      }
+      return s + ")";
+    }
+    default: {
+      static const char* ops[] = {"", "", "", "", "+", "-", "*", "==",
+                                  "!=", "<", "<=", ">", ">=", "&&", "||"};
+      return "(" + children_[0]->ToString() + " " +
+             ops[static_cast<int>(kind_)] + " " + children_[1]->ToString() +
+             ")";
+    }
+  }
+}
+
+}  // namespace pacman::proc

@@ -1,0 +1,100 @@
+#include "proc/interpreter.h"
+
+#include "common/macros.h"
+
+namespace pacman::proc {
+
+namespace {
+
+// Builds the row written by a kWrite/kInsert op.
+Row BuildRow(const Operation& op, const ProcState& state) {
+  EvalContext ctx = state.Ctx();
+  if (!op.full_row.empty()) {
+    Row row;
+    row.reserve(op.full_row.size());
+    for (const ExprPtr& e : op.full_row) row.push_back(e->Eval(ctx));
+    return row;
+  }
+  Row row;
+  if (op.base_local >= 0 && state.present[op.base_local]) {
+    row = state.locals[op.base_local];
+  }
+  for (const auto& [col, e] : op.updates) {
+    if (col >= static_cast<int>(row.size())) row.resize(col + 1);
+    row[col] = e->Eval(ctx);
+  }
+  return row;
+}
+
+}  // namespace
+
+Status ExecuteOps(const std::vector<OpIndex>& op_indices, ProcState* state,
+                  AccessContext* access) {
+  const ProcedureDef& proc = *state->proc;
+  for (OpIndex oi : op_indices) {
+    PACMAN_DCHECK(oi < proc.ops.size());
+    const Operation& op = proc.ops[oi];
+    EvalContext ctx = state->Ctx();
+    if (op.guard && !op.guard->EvalBool(ctx)) continue;
+    Key key = op.key->EvalKey(ctx);
+    switch (op.type) {
+      case OpType::kRead: {
+        Row row;
+        Status s = access->Read(op.table_id, key, &row);
+        if (s.ok()) {
+          state->locals[op.output_local] = std::move(row);
+          state->present[op.output_local] = true;
+        } else if (s.code() == StatusCode::kNotFound) {
+          state->present[op.output_local] = false;
+        } else {
+          return s;
+        }
+        break;
+      }
+      case OpType::kWrite:
+        access->Write(op.table_id, key, BuildRow(op, *state), false, false);
+        break;
+      case OpType::kInsert:
+        access->Write(op.table_id, key, BuildRow(op, *state), false, true);
+        break;
+      case OpType::kDelete:
+        access->Write(op.table_id, key, {}, true, false);
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ExecuteAll(ProcState* state, AccessContext* access) {
+  std::vector<OpIndex> all(state->proc->ops.size());
+  for (OpIndex i = 0; i < all.size(); ++i) all[i] = i;
+  return ExecuteOps(all, state, access);
+}
+
+bool TryExtractAccessSet(const std::vector<OpIndex>& op_indices,
+                         const ProcState& state,
+                         std::vector<std::pair<TableId, Key>>* out) {
+  const ProcedureDef& proc = *state.proc;
+  EvalContext ctx = state.Ctx();
+  out->clear();
+  for (OpIndex oi : op_indices) {
+    const Operation& op = proc.ops[oi];
+    if (op.guard && op.guard->Resolvable(ctx) &&
+        !op.guard->EvalBool(ctx)) {
+      continue;  // Guarded out: no access.
+    }
+    // When the guard depends on a read inside this same piece, the access
+    // set conservatively includes the op's key (a safe superset: the op
+    // may or may not execute, but can only touch that key).
+    if (!op.key->Resolvable(ctx)) {
+      // The key itself depends on a read in this same piece (a foreign-key
+      // pattern crossing no piece boundary, footnote 4); the caller must
+      // order this piece conservatively.
+      return false;
+    }
+    out->emplace_back(op.table_id, op.key->EvalKey(ctx));
+  }
+  return true;
+}
+
+}  // namespace pacman::proc

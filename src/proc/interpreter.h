@@ -1,0 +1,163 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Stored-procedure interpreter.
+//
+// The same operation stream is executed in two worlds:
+//  - forward processing: inside an optimistic transaction (TxnAccess);
+//  - recovery replay: directly against the tables at a known commit
+//    timestamp (ReplayAccess), with the install discipline of the active
+//    recovery scheme (latched, latch-free, or last-writer-wins).
+// It also implements the dynamic analysis primitive of §4.3.1: computing a
+// piece's (table, key) access set from the runtime parameter values before
+// executing it.
+#ifndef PACMAN_PROC_INTERPRETER_H_
+#define PACMAN_PROC_INTERPRETER_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "proc/procedure.h"
+#include "storage/catalog.h"
+#include "txn/transaction_manager.h"
+
+namespace pacman::proc {
+
+// Abstract data access used by the interpreter.
+class AccessContext {
+ public:
+  virtual ~AccessContext() = default;
+  virtual Status Read(TableId table, Key key, Row* out) = 0;
+  virtual void Write(TableId table, Key key, Row row, bool deleted,
+                     bool is_insert) = 0;
+};
+
+// Forward-processing access: routes through an optimistic Transaction.
+class TxnAccess : public AccessContext {
+ public:
+  TxnAccess(storage::Catalog* catalog, txn::Transaction* txn)
+      : catalog_(catalog), txn_(txn) {}
+
+  Status Read(TableId table, Key key, Row* out) override {
+    return txn_->Read(catalog_->GetTable(table), key, out);
+  }
+  void Write(TableId table, Key key, Row row, bool deleted,
+             bool is_insert) override {
+    storage::Table* t = catalog_->GetTable(table);
+    if (deleted) {
+      txn_->Delete(t, key);
+    } else if (is_insert) {
+      txn_->Insert(t, key, std::move(row));
+    } else {
+      txn_->Write(t, key, std::move(row));
+    }
+  }
+
+ private:
+  storage::Catalog* catalog_;
+  txn::Transaction* txn_;
+};
+
+// How recovery installs versions.
+enum class InstallMode {
+  kLatched,         // PLR/LLR: take the per-tuple latch.
+  kUnlatched,       // PACMAN: the schedule already ordered conflicts.
+  kLastWriterWins,  // PLR/LLR replaying out of order (Thomas write rule).
+};
+
+// Replay access: reads current state, installs at a fixed commit ts.
+class ReplayAccess : public AccessContext {
+ public:
+  ReplayAccess(storage::Catalog* catalog, InstallMode mode)
+      : catalog_(catalog), mode_(mode) {}
+
+  void set_commit_ts(Timestamp cts) { cts_ = cts; }
+
+  Status Read(TableId table, Key key, Row* out) override {
+    reads_++;
+    return catalog_->GetTable(table)->Read(key, kMaxTimestamp, out);
+  }
+
+  void Write(TableId table, Key key, Row row, bool deleted,
+             bool /*is_insert*/) override {
+    writes_++;
+    storage::TupleSlot* slot =
+        catalog_->GetTable(table)->GetOrCreateSlot(key);
+    switch (mode_) {
+      case InstallMode::kLatched:
+        latch_acquisitions_++;
+        storage::Table::InstallVersionLatched(slot, std::move(row), cts_,
+                                              deleted);
+        break;
+      case InstallMode::kUnlatched:
+        storage::Table::InstallVersionUnlatched(slot, std::move(row), cts_,
+                                                deleted);
+        break;
+      case InstallMode::kLastWriterWins:
+        latch_acquisitions_++;
+        storage::Table::InstallLastWriterWins(slot, std::move(row), cts_,
+                                              deleted);
+        break;
+    }
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t latch_acquisitions() const { return latch_acquisitions_; }
+
+ private:
+  storage::Catalog* catalog_;
+  InstallMode mode_;
+  Timestamp cts_ = kInvalidTimestamp;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t latch_acquisitions_ = 0;
+};
+
+// Mutable execution state of one procedure instance (one transaction):
+// parameter values plus the local rows produced by reads so far. During
+// recovery this state is shared by all pieces of the transaction, so later
+// piece-sets see the locals produced by earlier ones (§4.3.1).
+struct ProcState {
+  const ProcedureDef* proc = nullptr;
+  std::vector<Value> params;
+  std::vector<Row> locals;
+  std::vector<uint8_t> present;
+
+  ProcState() = default;
+  ProcState(const ProcedureDef* p, std::vector<Value> args)
+      : proc(p), params(std::move(args)) {
+    locals.resize(p->num_locals);
+    present.assign(p->num_locals, false);
+  }
+
+  EvalContext Ctx() const {
+    EvalContext ctx;
+    ctx.params = &params;
+    ctx.locals = &locals;
+    ctx.local_present = &present;
+    return ctx;
+  }
+};
+
+// Executes the given operations (ascending op indices) of state.proc.
+// Guards are evaluated; guarded-out ops are skipped. Returns non-OK only
+// on internal errors (reads that miss simply leave the local absent).
+Status ExecuteOps(const std::vector<OpIndex>& op_indices, ProcState* state,
+                  AccessContext* access);
+
+// Executes all operations of the procedure in program order.
+Status ExecuteAll(ProcState* state, AccessContext* access);
+
+// Dynamic analysis: computes the (table,key) set the given ops would
+// access, using the runtime values available in `state`. Returns false if
+// some key or guard is not yet resolvable (it depends on a read that has
+// not executed), in which case the caller must fall back to conservative
+// ordering for this piece.
+bool TryExtractAccessSet(const std::vector<OpIndex>& op_indices,
+                         const ProcState& state,
+                         std::vector<std::pair<TableId, Key>>* out);
+
+}  // namespace pacman::proc
+
+#endif  // PACMAN_PROC_INTERPRETER_H_

@@ -1,0 +1,113 @@
+#include "proc/procedure.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace pacman::proc {
+
+ProcedureBuilder::ProcedureBuilder(std::string name, int num_params) {
+  def_.name = std::move(name);
+  def_.num_params = num_params;
+}
+
+ExprPtr ProcedureBuilder::CurrentGuard() const {
+  if (guard_stack_.empty()) return nullptr;
+  ExprPtr g = guard_stack_[0];
+  for (size_t i = 1; i < guard_stack_.size(); ++i) {
+    g = And(g, guard_stack_[i]);
+  }
+  return g;
+}
+
+void ProcedureBuilder::Finish(Operation op) {
+  op.guard = CurrentGuard();
+
+  // Flow dependencies: define-use relations through locals referenced by
+  // the key / value expressions, plus control relations through the guard.
+  std::vector<int> params, locals;
+  if (op.key) op.key->CollectRefs(&params, &locals);
+  for (const auto& [col, e] : op.updates) e->CollectRefs(&params, &locals);
+  for (const ExprPtr& e : op.full_row) e->CollectRefs(&params, &locals);
+  if (op.guard) op.guard->CollectRefs(&params, &locals);
+  if (op.base_local >= 0) locals.push_back(op.base_local);
+
+  std::sort(locals.begin(), locals.end());
+  locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+  for (int l : locals) {
+    PACMAN_CHECK(l < static_cast<int>(local_def_op_.size()));
+    op.flow_deps.push_back(local_def_op_[l]);
+  }
+  std::sort(op.flow_deps.begin(), op.flow_deps.end());
+  op.flow_deps.erase(std::unique(op.flow_deps.begin(), op.flow_deps.end()),
+                     op.flow_deps.end());
+  def_.ops.push_back(std::move(op));
+}
+
+int ProcedureBuilder::Read(const std::string& table, ExprPtr key) {
+  int local = def_.num_locals++;
+  local_def_op_.push_back(static_cast<OpIndex>(def_.ops.size()));
+  Operation op;
+  op.type = OpType::kRead;
+  op.table_name = table;
+  op.key = std::move(key);
+  op.output_local = local;
+  Finish(std::move(op));
+  return local;
+}
+
+void ProcedureBuilder::Update(const std::string& table, ExprPtr key,
+                              int base_local,
+                              std::vector<std::pair<int, ExprPtr>> updates) {
+  Operation op;
+  op.type = OpType::kWrite;
+  op.table_name = table;
+  op.key = std::move(key);
+  op.base_local = base_local;
+  op.updates = std::move(updates);
+  Finish(std::move(op));
+}
+
+void ProcedureBuilder::WriteRow(const std::string& table, ExprPtr key,
+                                std::vector<ExprPtr> row) {
+  Operation op;
+  op.type = OpType::kWrite;
+  op.table_name = table;
+  op.key = std::move(key);
+  op.full_row = std::move(row);
+  Finish(std::move(op));
+}
+
+void ProcedureBuilder::Insert(const std::string& table, ExprPtr key,
+                              std::vector<ExprPtr> row) {
+  Operation op;
+  op.type = OpType::kInsert;
+  op.table_name = table;
+  op.key = std::move(key);
+  op.full_row = std::move(row);
+  Finish(std::move(op));
+}
+
+void ProcedureBuilder::Delete(const std::string& table, ExprPtr key) {
+  Operation op;
+  op.type = OpType::kDelete;
+  op.table_name = table;
+  op.key = std::move(key);
+  Finish(std::move(op));
+}
+
+void ProcedureBuilder::BeginIf(ExprPtr condition) {
+  guard_stack_.push_back(std::move(condition));
+}
+
+void ProcedureBuilder::EndIf() {
+  PACMAN_CHECK(!guard_stack_.empty());
+  guard_stack_.pop_back();
+}
+
+ProcedureDef ProcedureBuilder::Build() {
+  PACMAN_CHECK(guard_stack_.empty());
+  return std::move(def_);
+}
+
+}  // namespace pacman::proc

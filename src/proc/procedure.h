@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Stored procedure definitions: parameterized transaction templates made of
+// abstract read/write operations (paper §3).
+#ifndef PACMAN_PROC_PROCEDURE_H_
+#define PACMAN_PROC_PROCEDURE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "proc/expr.h"
+
+namespace pacman::proc {
+
+enum class OpType : uint8_t { kRead, kWrite, kInsert, kDelete };
+
+// One abstract database operation inside a stored procedure.
+//   kRead:   locals[output_local] <- read(table, key)
+//   kWrite:  write(table, key, row) where row = locals[base_local] with
+//            `updates` applied, or built from `full_row`
+//   kInsert: insert(table, key, full_row)
+//   kDelete: delete(table, key)
+// `guard` (if set) is the conjunction of enclosing if-conditions: the op
+// executes only when the guard evaluates true (control relation, §4.1.1).
+struct Operation {
+  OpType type = OpType::kRead;
+  std::string table_name;
+  TableId table_id = kInvalidTableId;  // Bound by ProcedureRegistry.
+  ExprPtr key;
+  int output_local = -1;  // kRead only.
+  int base_local = -1;    // kWrite: local row the update starts from.
+  std::vector<std::pair<int, ExprPtr>> updates;  // (column, new value).
+  std::vector<ExprPtr> full_row;                 // kWrite/kInsert.
+  ExprPtr guard;  // Null when unconditional.
+
+  // Indices of operations this op flow-depends on (define-use via locals
+  // plus control relations via the guard). Computed by ProcedureBuilder.
+  std::vector<OpIndex> flow_deps;
+
+  bool IsModification() const { return type != OpType::kRead; }
+};
+
+// A complete stored procedure. Immutable after Build().
+struct ProcedureDef {
+  std::string name;
+  ProcId id = 0;       // Assigned by ProcedureRegistry.
+  int num_params = 0;
+  int num_locals = 0;  // Number of read outputs.
+  std::vector<Operation> ops;
+};
+
+// Incremental construction of a ProcedureDef with automatic flow-dependency
+// extraction. Mirrors writing the procedure body top to bottom; BeginIf /
+// EndIf bracket conditional regions (conditions of nested regions are
+// conjoined).
+class ProcedureBuilder {
+ public:
+  ProcedureBuilder(std::string name, int num_params);
+
+  // Adds a read; returns the local variable index holding the result row.
+  int Read(const std::string& table, ExprPtr key);
+
+  // Adds a write producing locals[base_local] with column `updates`.
+  void Update(const std::string& table, ExprPtr key, int base_local,
+              std::vector<std::pair<int, ExprPtr>> updates);
+
+  // Adds a write that builds the full row from expressions.
+  void WriteRow(const std::string& table, ExprPtr key,
+                std::vector<ExprPtr> row);
+
+  // Adds an insert of a fully-specified row.
+  void Insert(const std::string& table, ExprPtr key,
+              std::vector<ExprPtr> row);
+
+  // Adds a delete.
+  void Delete(const std::string& table, ExprPtr key);
+
+  void BeginIf(ExprPtr condition);
+  void EndIf();
+
+  ProcedureDef Build();
+
+ private:
+  // Finalizes an op: attaches the current guard and computes flow deps.
+  void Finish(Operation op);
+  ExprPtr CurrentGuard() const;
+
+  ProcedureDef def_;
+  std::vector<ExprPtr> guard_stack_;
+  // local index -> op index that defines it.
+  std::vector<OpIndex> local_def_op_;
+};
+
+}  // namespace pacman::proc
+
+#endif  // PACMAN_PROC_PROCEDURE_H_

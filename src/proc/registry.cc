@@ -1,0 +1,22 @@
+#include "proc/registry.h"
+
+namespace pacman::proc {
+
+ProcId ProcedureRegistry::Register(ProcedureDef def) {
+  PACMAN_CHECK(by_name_.count(def.name) == 0);
+  for (Operation& op : def.ops) {
+    op.table_id = catalog_->GetTableId(op.table_name);
+    PACMAN_CHECK(op.table_id != kInvalidTableId);
+  }
+  def.id = static_cast<ProcId>(procs_.size());
+  by_name_[def.name] = def.id;
+  procs_.push_back(std::move(def));
+  return procs_.back().id;
+}
+
+const ProcedureDef* ProcedureRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &procs_[it->second];
+}
+
+}  // namespace pacman::proc

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Registry of the application's stored procedures. Binds table names in
+// operation definitions to catalog table ids and assigns ProcIds, which the
+// command log records reference.
+#ifndef PACMAN_PROC_REGISTRY_H_
+#define PACMAN_PROC_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "proc/procedure.h"
+#include "storage/catalog.h"
+
+namespace pacman::proc {
+
+class ProcedureRegistry {
+ public:
+  explicit ProcedureRegistry(storage::Catalog* catalog)
+      : catalog_(catalog) {}
+  PACMAN_DISALLOW_COPY_AND_MOVE(ProcedureRegistry);
+
+  // Registers a procedure; resolves every op's table name against the
+  // catalog (PACMAN_CHECKs on unknown tables / duplicate names).
+  ProcId Register(ProcedureDef def);
+
+  const ProcedureDef& Get(ProcId id) const {
+    PACMAN_DCHECK(id < procs_.size());
+    return procs_[id];
+  }
+  const ProcedureDef* Find(const std::string& name) const;
+  size_t size() const { return procs_.size(); }
+  const std::vector<ProcedureDef>& procedures() const { return procs_; }
+
+ private:
+  storage::Catalog* catalog_;
+  std::vector<ProcedureDef> procs_;
+  std::unordered_map<std::string, ProcId> by_name_;
+};
+
+}  // namespace pacman::proc
+
+#endif  // PACMAN_PROC_REGISTRY_H_

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// CLR: conventional command-log recovery (paper §6.2).
+//
+// Log files are reloaded in parallel, but the lost transactions are
+// re-executed strictly in commit order by a single thread — the behaviour
+// this paper sets out to fix.
+#ifndef PACMAN_RECOVERY_CLR_H_
+#define PACMAN_RECOVERY_CLR_H_
+
+#include "proc/registry.h"
+#include "recovery/recovery.h"
+#include "sim/task_graph.h"
+
+namespace pacman::recovery {
+
+void BuildClrReplay(const std::vector<GlobalBatch>& batches,
+                    const std::vector<device::SimulatedSsd*>& ssds,
+                    storage::Catalog* catalog,
+                    const proc::ProcedureRegistry* registry,
+                    const RecoveryOptions& options, sim::TaskGraph* graph,
+                    RecoveryCounters* counters);
+
+}  // namespace pacman::recovery
+
+#endif  // PACMAN_RECOVERY_CLR_H_

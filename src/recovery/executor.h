@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Real-thread execution of recovery task graphs.
+//
+// The library API recovers databases on actual std::threads; the benchmark
+// harnesses run the *same* task graphs on the simulated machine
+// (sim::Machine) to obtain multicore virtual-time results on this
+// single-core host. Both respect the graph's dependency edges; the thread
+// pool executor maps all groups onto one shared pool (group capacities are
+// a performance-model concern, not a correctness one).
+#ifndef PACMAN_RECOVERY_EXECUTOR_H_
+#define PACMAN_RECOVERY_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "sim/task_graph.h"
+
+namespace pacman::recovery {
+
+// Executes all tasks of `graph` on `num_threads` worker threads, honoring
+// dependency edges. Ready tasks are dispatched in (priority, id) order.
+// Returns the wall-clock seconds spent.
+double RunOnThreads(sim::TaskGraph* graph, uint32_t num_threads);
+
+}  // namespace pacman::recovery
+
+#endif  // PACMAN_RECOVERY_EXECUTOR_H_

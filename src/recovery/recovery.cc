@@ -1,0 +1,49 @@
+#include "recovery/recovery.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pacman::recovery {
+
+const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kPlr:
+      return "PLR";
+    case Scheme::kLlr:
+      return "LLR";
+    case Scheme::kLlrP:
+      return "LLR-P";
+    case Scheme::kClr:
+      return "CLR";
+    case Scheme::kClrP:
+      return "CLR-P";
+  }
+  return "?";
+}
+
+std::vector<GlobalBatch> MergeBatches(
+    const std::vector<logging::LogBatch>& batches, uint32_t num_ssds,
+    Timestamp checkpoint_ts, Epoch pepoch) {
+  std::map<uint64_t, GlobalBatch> by_seq;
+  for (const logging::LogBatch& b : batches) {
+    GlobalBatch& g = by_seq[b.seq];
+    g.seq = b.seq;
+    g.files.emplace_back(b.logger_id % num_ssds, b.file_bytes);
+    for (const logging::LogRecord& r : b.records) {
+      if (r.commit_ts > checkpoint_ts && r.epoch <= pepoch) {
+        g.records.push_back(&r);
+      }
+    }
+  }
+  std::vector<GlobalBatch> out;
+  for (auto& [seq, g] : by_seq) {
+    std::sort(g.records.begin(), g.records.end(),
+              [](const logging::LogRecord* a, const logging::LogRecord* b) {
+                return a->commit_ts < b->commit_ts;
+              });
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace pacman::recovery

@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Common types of the recovery subsystem (paper §6.2 scheme taxonomy).
+#ifndef PACMAN_RECOVERY_RECOVERY_H_
+#define PACMAN_RECOVERY_RECOVERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/global_graph.h"
+#include "common/types.h"
+#include "device/simulated_ssd.h"
+#include "logging/log_store.h"
+#include "proc/registry.h"
+#include "recovery/cost_model.h"
+#include "sim/task_graph.h"
+#include "storage/catalog.h"
+
+namespace pacman::recovery {
+
+// The five evaluated recovery schemes (§6.2).
+enum class Scheme {
+  kPlr,   // Physical log recovery (latched, last-writer-wins).
+  kLlr,   // Logical log recovery, SiloR-style (latched).
+  kLlrP,  // Parallel logical recovery adapted from PACMAN (latch-free).
+  kClr,   // Serial command log recovery.
+  kClrP,  // PACMAN.
+};
+
+const char* SchemeName(Scheme s);
+
+// CLR-P execution modes isolated for §6.3's ablations.
+enum class PacmanMode {
+  kStaticOnly,    // Coarse-grained block parallelism only (Figs. 18, 19).
+  kSynchronous,   // + intra-batch dynamic analysis, batch barrier (Fig. 19).
+  kPipelined,     // + inter-batch pipelining (full PACMAN).
+};
+
+struct RecoveryOptions {
+  uint32_t num_threads = 1;
+  CostModel costs;
+  PacmanMode mode = PacmanMode::kPipelined;
+  // Replay only records with commit_ts > this (the checkpoint snapshot).
+  Timestamp checkpoint_ts = 0;
+  // Build only the reload stage (io + deserialize), for the "pure file
+  // reloading" measurements of Figs. 13a/14a.
+  bool reload_only = false;
+  // Model latch acquisition costs (true for PLR/LLR; Fig. 15 disables).
+  bool use_latches = true;
+  // CLR-P only: replay with an alternative statically-derived graph
+  // (Fig. 18 uses the transaction-chopping decomposition).
+  const analysis::GlobalDependencyGraph* gdg_override = nullptr;
+};
+
+// Virtual-time busy breakdown (Fig. 20 categories).
+struct Breakdown {
+  double useful_work = 0.0;
+  double data_loading = 0.0;
+  double param_checking = 0.0;
+  double scheduling = 0.0;
+
+  double Total() const {
+    return useful_work + data_loading + param_checking + scheduling;
+  }
+};
+
+struct RecoveryStats {
+  double seconds = 0.0;  // Virtual makespan of the phase.
+  Breakdown breakdown;
+  uint64_t records_replayed = 0;
+  uint64_t tuples_restored = 0;
+  uint64_t latch_acquisitions = 0;
+};
+
+// Thread-safe accumulators shared by the task closures of one recovery run.
+class RecoveryCounters {
+ public:
+  void AddUseful(double s) { useful_.fetch_add(s); }
+  void AddLoading(double s) { loading_.fetch_add(s); }
+  void AddParamCheck(double s) { param_.fetch_add(s); }
+  void AddScheduling(double s) { sched_.fetch_add(s); }
+  void AddRecords(uint64_t n) { records_.fetch_add(n); }
+  void AddTuples(uint64_t n) { tuples_.fetch_add(n); }
+  void AddLatches(uint64_t n) { latches_.fetch_add(n); }
+
+  void FillStats(RecoveryStats* stats) const {
+    stats->breakdown.useful_work = useful_.load();
+    stats->breakdown.data_loading = loading_.load();
+    stats->breakdown.param_checking = param_.load();
+    stats->breakdown.scheduling = sched_.load();
+    stats->records_replayed = records_.load();
+    stats->tuples_restored = tuples_.load();
+    stats->latch_acquisitions = latches_.load();
+  }
+
+ private:
+  std::atomic<double> useful_{0.0};
+  std::atomic<double> loading_{0.0};
+  std::atomic<double> param_{0.0};
+  std::atomic<double> sched_{0.0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> tuples_{0};
+  std::atomic<uint64_t> latches_{0};
+};
+
+// A commit-order run of log records spanning all loggers' batch files with
+// the same sequence number — the global unit of replay and pipelining.
+struct GlobalBatch {
+  uint64_t seq = 0;
+  std::vector<const logging::LogRecord*> records;  // Ascending commit_ts.
+  // Per-device byte counts of the member files (reload cost accounting).
+  std::vector<std::pair<uint32_t, size_t>> files;  // (ssd index, bytes).
+};
+
+// Groups per-logger batches by sequence number and merges their records by
+// commit timestamp. `num_ssds` maps logger id -> device (id % num_ssds).
+// Records with commit_ts <= checkpoint_ts are dropped (already durable in
+// the checkpoint), as are records beyond the pepoch watermark (their
+// results were never released to clients, Appendix A).
+std::vector<GlobalBatch> MergeBatches(
+    const std::vector<logging::LogBatch>& batches, uint32_t num_ssds,
+    Timestamp checkpoint_ts, Epoch pepoch = kMaxTimestamp);
+
+// Shared machine-layout convention for recovery task graphs:
+//   groups [0, num_ssds)      : one serial core per device;
+//   group  num_ssds           : the CPU pool (num_threads cores);
+//   groups num_ssds+1 ...     : CLR-P per-block groups.
+inline sim::GroupId SsdGroup(uint32_t ssd_index) { return ssd_index; }
+inline sim::GroupId CpuGroup(uint32_t num_ssds) { return num_ssds; }
+
+}  // namespace pacman::recovery
+
+#endif  // PACMAN_RECOVERY_RECOVERY_H_

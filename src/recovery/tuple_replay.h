@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Tuple-level log recovery schemes (paper §6.2):
+//
+//  - PLR: physical log replay. Multiple threads install after images under
+//    per-tuple latches with the last-writer-wins (Thomas write) rule, then
+//    rebuild all indexes in parallel at the end of log recovery.
+//  - LLR: SiloR-style logical log replay. Same latched last-writer-wins
+//    installs; indexes are maintained online during the replay.
+//  - LLR-P: PACMAN's unified treatment of tuple-level logs (§4.5). Each
+//    log entry is a write-only transaction; writes are shuffled by
+//    (table, primary key) so each partition replays its keys in commit
+//    order on one thread — no latches at all.
+#ifndef PACMAN_RECOVERY_TUPLE_REPLAY_H_
+#define PACMAN_RECOVERY_TUPLE_REPLAY_H_
+
+#include "recovery/recovery.h"
+#include "sim/task_graph.h"
+
+namespace pacman::recovery {
+
+// Appends the log-replay tasks for a tuple-level scheme (kPlr, kLlr or
+// kLlrP) to `graph` using the standard group layout. `batches` must stay
+// alive until the graph has run.
+void BuildTupleLogReplay(Scheme scheme,
+                         const std::vector<GlobalBatch>& batches,
+                         const std::vector<device::SimulatedSsd*>& ssds,
+                         storage::Catalog* catalog,
+                         const RecoveryOptions& options,
+                         sim::TaskGraph* graph, RecoveryCounters* counters);
+
+}  // namespace pacman::recovery
+
+#endif  // PACMAN_RECOVERY_TUPLE_REPLAY_H_

@@ -1,0 +1,30 @@
+#include "sim/task_graph.h"
+
+namespace pacman::sim {
+
+TaskId TaskGraph::AddTask(double cost, std::function<void()> work,
+                          GroupId group, uint64_t priority) {
+  PACMAN_DCHECK(cost >= 0.0);
+  Task t;
+  t.cost = cost;
+  t.work = std::move(work);
+  t.group = group;
+  t.priority = priority;
+  tasks_.push_back(std::move(t));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::AddEdge(TaskId from, TaskId to) {
+  PACMAN_DCHECK(from < tasks_.size() && to < tasks_.size());
+  PACMAN_DCHECK(from != to);
+  tasks_[from].dependents.push_back(to);
+  tasks_[to].num_deps++;
+}
+
+double TaskGraph::TotalCost() const {
+  double total = 0.0;
+  for (const Task& t : tasks_) total += t.cost;
+  return total;
+}
+
+}  // namespace pacman::sim

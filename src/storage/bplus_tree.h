@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+//
+// Concurrent B+tree over 64-bit keys mapping to opaque pointers, used as
+// the ordered primary index of tables (Peloton uses a B-tree-style index;
+// Section 6). Concurrency control is classic latch crabbing: readers take
+// shared latches and release the parent as soon as the child is latched;
+// writers take exclusive latches top-down and release all safe ancestors
+// once the current node cannot split.
+//
+// Structural deletion is not supported: the engine models SQL DELETE as an
+// MVCC tombstone version, so index entries are only ever inserted. This is
+// the standard main-memory MVCC arrangement (garbage collection would prune
+// later; this reproduction does not GC).
+#ifndef PACMAN_STORAGE_BPLUS_TREE_H_
+#define PACMAN_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/types.h"
+
+namespace pacman::storage {
+
+// Maps Key -> void* (never null for present keys). Thread-safe.
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 64;  // Max children of an inner node.
+  static constexpr int kLeafCapacity = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  PACMAN_DISALLOW_COPY_AND_MOVE(BPlusTree);
+
+  // Inserts key -> value. Returns false (and leaves the tree unchanged) if
+  // the key already exists.
+  bool Insert(Key key, void* value);
+
+  // Inserts or overwrites. Returns the previous value or nullptr.
+  void* Upsert(Key key, void* value);
+
+  // Returns the value for `key`, or nullptr if absent.
+  void* Lookup(Key key) const;
+
+  // Visits entries with key >= `from` in ascending key order until the
+  // callback returns false or the tree is exhausted.
+  void ScanFrom(Key from,
+                const std::function<bool(Key, void*)>& callback) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Height of the tree (1 = a single leaf). For tests/diagnostics.
+  int Height() const;
+
+  // Verifies structural invariants (sorted keys, child separators, uniform
+  // leaf depth, leaf-chain ordering). For tests; not thread-safe.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct InnerNode;
+  struct LeafNode;
+
+  // Latches the leaf that may contain `key` in shared mode; caller must
+  // unlock. Crabs from the root.
+  LeafNode* FindLeafShared(Key key) const;
+
+  // Shared implementation of Insert/Upsert. If the key exists: overwrites
+  // when `overwrite` and returns the previous value; otherwise inserts and
+  // returns nullptr. `*inserted` reports whether a new entry was created.
+  void* UpsertInternal(Key key, void* value, bool overwrite, bool* inserted);
+
+  void FreeRecursive(Node* node);
+
+  // Root pointer changes (splits of the root) are guarded by root_latch_
+  // treated as the latch "above" the root in the crabbing protocol.
+  mutable RwSpinLatch root_latch_;
+  Node* root_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace pacman::storage
+
+#endif  // PACMAN_STORAGE_BPLUS_TREE_H_

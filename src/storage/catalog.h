@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Catalog: owns all tables of a database instance.
+#ifndef PACMAN_STORAGE_CATALOG_H_
+#define PACMAN_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/schema.h"
+#include "common/types.h"
+#include "storage/table.h"
+
+namespace pacman::storage {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  PACMAN_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  // Creates a table; PACMAN_CHECKs on duplicate names.
+  Table* CreateTable(const std::string& name, Schema schema,
+                     IndexType index_type = IndexType::kBPlusTree);
+
+  Table* GetTable(const std::string& name) const;
+  Table* GetTable(TableId id) const;
+  // Returns kInvalidTableId if absent.
+  TableId GetTableId(const std::string& name) const;
+
+  size_t NumTables() const { return tables_.size(); }
+  const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  // Fingerprint of the whole database's visible content at `ts`.
+  uint64_t ContentHash(Timestamp ts) const;
+
+  // Serialized byte size of all visible tuples (checkpoint size estimate).
+  uint64_t ApproxContentBytes(Timestamp ts) const;
+
+  // Drops all tuple data, keeping schemas (crash simulation).
+  void ResetAllTables();
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace pacman::storage
+
+#endif  // PACMAN_STORAGE_CATALOG_H_

@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Sharded hash index: Key -> void*. Used as the primary index for
+// point-lookup-only tables; the B+tree serves tables that need ordered
+// scans. Thread-safe via per-shard reader/writer spin latches.
+#ifndef PACMAN_STORAGE_HASH_INDEX_H_
+#define PACMAN_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/types.h"
+
+namespace pacman::storage {
+
+class HashIndex {
+ public:
+  static constexpr size_t kNumShards = 64;
+
+  HashIndex() = default;
+  PACMAN_DISALLOW_COPY_AND_MOVE(HashIndex);
+
+  // Inserts key -> value; returns false if the key already exists.
+  bool Insert(Key key, void* value);
+
+  // Inserts or overwrites; returns the previous value or nullptr.
+  void* Upsert(Key key, void* value);
+
+  // Returns the value or nullptr.
+  void* Lookup(Key key) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Visits all entries (no ordering guarantee); not concurrency-safe with
+  // writers. Used by tests and content fingerprinting.
+  void ForEach(const std::function<void(Key, void*)>& fn) const;
+
+ private:
+  struct Shard {
+    mutable RwSpinLatch latch;
+    std::unordered_map<Key, void*> map;
+  };
+
+  static size_t ShardOf(Key key) {
+    // Multiplicative hash of the key's high-quality bits.
+    return (key * 0x9e3779b97f4a7c15ull) >> 58;  // top 6 bits -> 64 shards.
+  }
+
+  Shard shards_[kNumShards];
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace pacman::storage
+
+#endif  // PACMAN_STORAGE_HASH_INDEX_H_

@@ -1,0 +1,141 @@
+#include "storage/table.h"
+
+namespace pacman::storage {
+
+Table::Table(TableId id, std::string name, Schema schema,
+             IndexType index_type)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      index_type_(index_type) {
+  if (index_type_ == IndexType::kBPlusTree) {
+    btree_ = std::make_unique<BPlusTree>();
+  } else {
+    hash_ = std::make_unique<HashIndex>();
+  }
+}
+
+TupleSlot* Table::IndexLookup(Key key) const {
+  void* p = index_type_ == IndexType::kBPlusTree ? btree_->Lookup(key)
+                                                 : hash_->Lookup(key);
+  return static_cast<TupleSlot*>(p);
+}
+
+TupleSlot* Table::GetSlot(Key key) const { return IndexLookup(key); }
+
+TupleSlot* Table::GetOrCreateSlot(Key key) {
+  TupleSlot* slot = IndexLookup(key);
+  if (slot != nullptr) return slot;
+  SpinLatchGuard g(arena_latch_);
+  // Re-check under the arena latch; another thread may have created it.
+  slot = IndexLookup(key);
+  if (slot != nullptr) return slot;
+  arena_.emplace_back();
+  slot = &arena_.back();
+  slot->key = key;
+  bool inserted = index_type_ == IndexType::kBPlusTree
+                      ? btree_->Insert(key, slot)
+                      : hash_->Insert(key, slot);
+  PACMAN_CHECK(inserted);
+  return slot;
+}
+
+void Table::LoadRow(Key key, Row row, Timestamp ts) {
+  TupleSlot* slot = GetOrCreateSlot(key);
+  PACMAN_CHECK(slot->newest.load(std::memory_order_relaxed) == nullptr);
+  auto* v = new Version();
+  v->begin_ts = ts;
+  v->data = std::move(row);
+  slot->newest.store(v, std::memory_order_release);
+}
+
+Status Table::Read(Key key, Timestamp ts, Row* out) const {
+  const TupleSlot* slot = GetSlot(key);
+  if (slot == nullptr) return Status::NotFound();
+  const Version* v = slot->VisibleAt(ts);
+  if (v == nullptr || v->deleted) return Status::NotFound();
+  *out = v->data;
+  return Status::Ok();
+}
+
+void Table::InstallVersionLatched(TupleSlot* slot, Row row, Timestamp ts,
+                                  bool deleted) {
+  SpinLatchGuard g(slot->latch);
+  InstallVersionUnlatched(slot, std::move(row), ts, deleted);
+}
+
+void Table::InstallVersionUnlatched(TupleSlot* slot, Row row, Timestamp ts,
+                                    bool deleted) {
+  Version* old = slot->newest.load(std::memory_order_relaxed);
+  // Equal timestamps occur when one transaction writes a key twice; the
+  // later install (program order) supersedes.
+  PACMAN_DCHECK(old == nullptr || old->begin_ts <= ts);
+  auto* v = new Version();
+  v->begin_ts = ts;
+  v->deleted = deleted;
+  v->data = std::move(row);
+  v->older = old;
+  if (old != nullptr) old->end_ts = ts;
+  slot->newest.store(v, std::memory_order_release);
+}
+
+void Table::InstallLastWriterWins(TupleSlot* slot, Row row, Timestamp ts,
+                                  bool deleted) {
+  SpinLatchGuard g(slot->latch);
+  Version* old = slot->newest.load(std::memory_order_relaxed);
+  if (old != nullptr && old->begin_ts >= ts) return;  // Thomas write rule.
+  InstallVersionUnlatched(slot, std::move(row), ts, deleted);
+}
+
+void Table::ScanFrom(
+    Key from, Timestamp ts,
+    const std::function<bool(Key, const Row&)>& callback) const {
+  PACMAN_CHECK(index_type_ == IndexType::kBPlusTree);
+  btree_->ScanFrom(from, [&](Key key, void* p) {
+    const auto* slot = static_cast<const TupleSlot*>(p);
+    const Version* v = slot->VisibleAt(ts);
+    if (v == nullptr || v->deleted) return true;  // Skip invisible tuples.
+    return callback(key, v->data);
+  });
+}
+
+void Table::ForEachSlot(const std::function<void(TupleSlot*)>& fn) const {
+  for (const TupleSlot& slot : arena_) {
+    fn(const_cast<TupleSlot*>(&slot));
+  }
+}
+
+uint64_t Table::NumKeys() const { return arena_.size(); }
+
+uint64_t Table::ContentHash(Timestamp ts) const {
+  uint64_t h = 0;
+  for (const TupleSlot& slot : arena_) {
+    const Version* v = slot.VisibleAt(ts);
+    if (v == nullptr || v->deleted) continue;
+    uint64_t kh = slot.key * 0x9e3779b97f4a7c15ull;
+    uint64_t rh = HashRow(v->data);
+    // XOR of per-key mixes: order-independent.
+    h ^= kh ^ (rh + 0x9e3779b97f4a7c15ull + (kh << 6) + (kh >> 2));
+  }
+  return h;
+}
+
+uint64_t Table::VisibleCount(Timestamp ts) const {
+  uint64_t n = 0;
+  for (const TupleSlot& slot : arena_) {
+    const Version* v = slot.VisibleAt(ts);
+    if (v != nullptr && !v->deleted) ++n;
+  }
+  return n;
+}
+
+void Table::Reset() {
+  arena_.clear();
+  if (index_type_ == IndexType::kBPlusTree) {
+    btree_ = std::make_unique<BPlusTree>();
+  } else {
+    hash_ = std::make_unique<HashIndex>();
+  }
+}
+
+}  // namespace pacman::storage

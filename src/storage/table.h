@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Main-memory table: a slot arena of MVCC tuples plus a primary index
+// (B+tree for ordered tables, sharded hash for point-lookup tables).
+#ifndef PACMAN_STORAGE_TABLE_H_
+#define PACMAN_STORAGE_TABLE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bplus_tree.h"
+#include "storage/hash_index.h"
+#include "storage/tuple.h"
+
+namespace pacman::storage {
+
+enum class IndexType { kBPlusTree, kHash };
+
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema,
+        IndexType index_type = IndexType::kBPlusTree);
+  PACMAN_DISALLOW_COPY_AND_MOVE(Table);
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  IndexType index_type() const { return index_type_; }
+
+  // --- Slot access ------------------------------------------------------
+  // Returns the slot for `key`, or nullptr if the key was never inserted.
+  TupleSlot* GetSlot(Key key) const;
+  // Returns the slot for `key`, creating (and indexing) it if absent.
+  TupleSlot* GetOrCreateSlot(Key key);
+
+  // --- Bulk load (initial population / checkpoint restore) --------------
+  // Installs `row` as the sole version visible from timestamp `ts`.
+  // Precondition: `key` has no versions yet.
+  void LoadRow(Key key, Row row, Timestamp ts);
+
+  // --- MVCC reads -------------------------------------------------------
+  // Copies the row visible at `ts` into *out; kNotFound if absent/deleted.
+  Status Read(Key key, Timestamp ts, Row* out) const;
+
+  // --- Version installation ---------------------------------------------
+  // Appends a committed version on `slot` under the slot latch. Used by
+  // forward processing (commit) and by the latched recovery schemes.
+  // `ts` must exceed the current newest version's begin_ts.
+  static void InstallVersionLatched(TupleSlot* slot, Row row, Timestamp ts,
+                                    bool deleted = false);
+  // Same but without taking the latch: PACMAN replay already serialized
+  // conflicting writers, so the latch is provably unnecessary (§4.5).
+  static void InstallVersionUnlatched(TupleSlot* slot, Row row, Timestamp ts,
+                                      bool deleted = false);
+  // Last-writer-wins install (Thomas write rule): drops the write if a
+  // version with begin_ts >= ts is already in place. Used by PLR/LLR whose
+  // threads replay log records out of order. Takes the slot latch.
+  static void InstallLastWriterWins(TupleSlot* slot, Row row, Timestamp ts,
+                                    bool deleted = false);
+
+  // --- Scans -------------------------------------------------------------
+  // Ordered scan from `from` (B+tree tables only): visits visible rows at
+  // `ts` until the callback returns false.
+  void ScanFrom(Key from, Timestamp ts,
+                const std::function<bool(Key, const Row&)>& callback) const;
+
+  // Visits every slot (any order, including logically deleted tuples).
+  void ForEachSlot(const std::function<void(TupleSlot*)>& fn) const;
+
+  // --- Introspection ------------------------------------------------------
+  uint64_t NumKeys() const;
+  // Order-independent fingerprint of the visible content at `ts`; used by
+  // the recovery correctness checks (recovered state must match pre-crash).
+  uint64_t ContentHash(Timestamp ts) const;
+  // Count of visible (non-deleted) tuples at `ts`.
+  uint64_t VisibleCount(Timestamp ts) const;
+
+  // Drops all tuples and index entries. Models the loss of main memory at a
+  // crash: recovery starts from an empty table.
+  void Reset();
+
+ private:
+  TupleSlot* IndexLookup(Key key) const;
+
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  IndexType index_type_;
+
+  std::unique_ptr<BPlusTree> btree_;
+  std::unique_ptr<HashIndex> hash_;
+
+  // Slot arena. Deque gives pointer stability; creation is latched.
+  mutable SpinLatch arena_latch_;
+  std::deque<TupleSlot> arena_;
+};
+
+}  // namespace pacman::storage
+
+#endif  // PACMAN_STORAGE_TABLE_H_

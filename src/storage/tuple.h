@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// MVCC tuple slots and version chains.
+//
+// Each logical tuple (one candidate key of a table) owns a TupleSlot with a
+// newest-first chain of committed versions. The engine is multi-versioned
+// like the paper's Peloton configuration [42]: checkpointing reads a
+// consistent snapshot at a timestamp while writers continue, and the
+// latched recovery schemes (PLR/LLR) take the per-slot latch to append
+// versions, while PACMAN (CLR-P / LLR-P) installs latch-free because its
+// schedule already orders conflicting writes.
+#ifndef PACMAN_STORAGE_TUPLE_H_
+#define PACMAN_STORAGE_TUPLE_H_
+
+#include <atomic>
+
+#include "common/spin_latch.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace pacman::storage {
+
+// One committed version of a tuple. Immutable once linked into the chain.
+struct Version {
+  Timestamp begin_ts = kInvalidTimestamp;  // Creator's commit timestamp.
+  Timestamp end_ts = kMaxTimestamp;        // Superseder's commit timestamp.
+  bool deleted = false;                    // Tombstone (SQL DELETE).
+  Row data;
+  Version* older = nullptr;
+};
+
+// Header of one logical tuple. Chains are newest-first and strictly
+// decreasing in begin_ts.
+struct TupleSlot {
+  Key key = 0;
+  SpinLatch latch;  // Install latch; also the recovery latch of PLR/LLR.
+  std::atomic<Version*> newest{nullptr};
+
+  // Returns the version visible at read timestamp `ts` (newest version with
+  // begin_ts <= ts), or nullptr if none. A returned tombstone means the
+  // tuple is logically absent at `ts`.
+  const Version* VisibleAt(Timestamp ts) const {
+    for (const Version* v = newest.load(std::memory_order_acquire);
+         v != nullptr; v = v->older) {
+      if (v->begin_ts <= ts) return v;
+    }
+    return nullptr;
+  }
+
+  ~TupleSlot() {
+    Version* v = newest.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      Version* older = v->older;
+      delete v;
+      v = older;
+    }
+  }
+};
+
+}  // namespace pacman::storage
+
+#endif  // PACMAN_STORAGE_TUPLE_H_

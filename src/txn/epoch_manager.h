@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Silo-style group-commit epochs (paper Appendix A).
+//
+// Workers tag each commit with the current epoch. Logger threads flush
+// per-epoch buffers; the `pepoch` watermark is the minimum epoch fully
+// persisted across all loggers, and transaction results may only be
+// released to clients once their epoch is <= pepoch.
+#ifndef PACMAN_TXN_EPOCH_MANAGER_H_
+#define PACMAN_TXN_EPOCH_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace pacman::txn {
+
+class EpochManager {
+ public:
+  explicit EpochManager(size_t num_loggers = 0) {
+    persisted_.resize(num_loggers);
+    for (auto& p : persisted_) {
+      p = std::make_unique<std::atomic<Epoch>>(0);
+    }
+  }
+  PACMAN_DISALLOW_COPY_AND_MOVE(EpochManager);
+
+  Epoch current() const { return current_.load(std::memory_order_acquire); }
+
+  // Advances the global epoch. Called by the epoch thread (or by the
+  // database runtime every fixed number of commits, which keeps the system
+  // deterministic in tests).
+  Epoch Advance() {
+    return current_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  size_t num_loggers() const { return persisted_.size(); }
+
+  // Logger `i` reports that all its log records up to `e` are durable.
+  void SetLoggerPersisted(size_t logger, Epoch e) {
+    PACMAN_DCHECK(logger < persisted_.size());
+    persisted_[logger]->store(e, std::memory_order_release);
+  }
+
+  // The pepoch watermark: min persisted epoch across loggers (0 if none).
+  Epoch PersistentEpoch() const {
+    if (persisted_.empty()) return current();
+    Epoch min_e = kMaxTimestamp;
+    for (const auto& p : persisted_) {
+      Epoch e = p->load(std::memory_order_acquire);
+      if (e < min_e) min_e = e;
+    }
+    return min_e;
+  }
+
+ private:
+  std::atomic<Epoch> current_{1};
+  std::vector<std::unique_ptr<std::atomic<Epoch>>> persisted_;
+};
+
+}  // namespace pacman::txn
+
+#endif  // PACMAN_TXN_EPOCH_MANAGER_H_

@@ -1,0 +1,109 @@
+#include "txn/transaction_manager.h"
+
+namespace pacman::txn {
+
+Status Transaction::Read(storage::Table* table, Key key, Row* out) {
+  // Own writes first (reverse order: latest buffered write wins).
+  for (auto it = write_set_.rbegin(); it != write_set_.rend(); ++it) {
+    if (it->table == table && it->key == key) {
+      if (it->deleted) return Status::NotFound();
+      *out = it->row;
+      return Status::Ok();
+    }
+  }
+  read_set_.push_back({table, key});
+  return table->Read(key, read_ts_, out);
+}
+
+void Transaction::Write(storage::Table* table, Key key, Row row) {
+  write_set_.push_back({table, key, std::move(row), false, false});
+}
+
+void Transaction::Insert(storage::Table* table, Key key, Row row) {
+  write_set_.push_back({table, key, std::move(row), false, true});
+}
+
+void Transaction::Delete(storage::Table* table, Key key) {
+  write_set_.push_back({table, key, {}, true, false});
+}
+
+void Transaction::CoalesceWrites() {
+  if (write_set_.size() < 2) return;
+  std::vector<WriteEntry> coalesced;
+  coalesced.reserve(write_set_.size());
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    bool superseded = false;
+    for (size_t j = i + 1; j < write_set_.size(); ++j) {
+      if (write_set_[j].table == write_set_[i].table &&
+          write_set_[j].key == write_set_[i].key) {
+        // A later write wins, but an earlier insert keeps its semantics.
+        write_set_[j].is_insert =
+            write_set_[j].is_insert || write_set_[i].is_insert;
+        superseded = true;
+        break;
+      }
+    }
+    if (!superseded) coalesced.push_back(std::move(write_set_[i]));
+  }
+  write_set_ = std::move(coalesced);
+}
+
+Status TransactionManager::Commit(Transaction* t, CommitInfo* info) {
+  t->CoalesceWrites();
+  SpinLatchGuard g(commit_latch_);
+
+  // Validation: every accessed key must be unchanged since the snapshot,
+  // i.e., its newest committed version must not postdate read_ts.
+  auto unchanged = [&](storage::Table* table, Key key) {
+    storage::TupleSlot* slot = table->GetSlot(key);
+    if (slot == nullptr) return true;  // Still absent.
+    const storage::Version* v =
+        slot->newest.load(std::memory_order_acquire);
+    return v == nullptr || v->begin_ts <= t->read_ts_;
+  };
+  for (const ReadEntry& r : t->read_set_) {
+    if (!unchanged(r.table, r.key)) {
+      num_aborts_.fetch_add(1, std::memory_order_relaxed);
+      Abort(t);
+      return Status::Aborted("read validation failed");
+    }
+  }
+  for (const WriteEntry& w : t->write_set_) {
+    if (!unchanged(w.table, w.key)) {
+      num_aborts_.fetch_add(1, std::memory_order_relaxed);
+      Abort(t);
+      return Status::Aborted("write validation failed");
+    }
+    if (w.is_insert) {
+      // Insert requires the key to be absent (or deleted) at the snapshot.
+      storage::TupleSlot* slot = w.table->GetSlot(w.key);
+      if (slot != nullptr) {
+        const storage::Version* v = slot->VisibleAt(t->read_ts_);
+        if (v != nullptr && !v->deleted) {
+          num_aborts_.fetch_add(1, std::memory_order_relaxed);
+          Abort(t);
+          return Status::Aborted("insert: key exists");
+        }
+      }
+    }
+  }
+
+  const Timestamp cts = next_ts_.fetch_add(1, std::memory_order_relaxed);
+  info->commit_ts = cts;
+  info->epoch = epochs_->current();
+
+  for (WriteEntry& w : t->write_set_) {
+    storage::TupleSlot* slot = w.table->GetOrCreateSlot(w.key);
+    // The commit latch serializes writers; readers synchronize through the
+    // release store of the version pointer.
+    storage::Table::InstallVersionUnlatched(slot, w.row, cts, w.deleted);
+  }
+
+  if (hook_) hook_(*t, *info);
+  last_committed_.store(cts, std::memory_order_release);
+  t->read_set_.clear();
+  t->write_set_.clear();
+  return Status::Ok();
+}
+
+}  // namespace pacman::txn

@@ -1,0 +1,150 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Optimistic MVCC transactions.
+//
+// Reads run against the snapshot at the transaction's begin timestamp;
+// writes are buffered. Commit validates, under a short global commit
+// section, that every accessed key is unchanged since the snapshot, then
+// installs all writes at a fresh commit timestamp. Commit timestamps are
+// therefore also the global commit order that the durable log preserves
+// and that recovery replays (paper §3). PACMAN is orthogonal to the CC
+// scheme (§1); this one is chosen for its crisp commit-order semantics.
+#ifndef PACMAN_TXN_TRANSACTION_MANAGER_H_
+#define PACMAN_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/table.h"
+#include "txn/epoch_manager.h"
+
+namespace pacman::txn {
+
+// A buffered write of one transaction.
+struct WriteEntry {
+  storage::Table* table = nullptr;
+  Key key = 0;
+  Row row;
+  bool deleted = false;
+  bool is_insert = false;
+};
+
+struct ReadEntry {
+  storage::Table* table = nullptr;
+  Key key = 0;
+};
+
+class TransactionManager;
+
+// A single in-flight transaction. Not thread-safe (one worker owns it).
+class Transaction {
+ public:
+  // Reads the row for `key` visible at the snapshot, observing the
+  // transaction's own earlier writes. kNotFound if absent.
+  Status Read(storage::Table* table, Key key, Row* out);
+  // Buffers an update (the key need not exist yet; see Insert).
+  void Write(storage::Table* table, Key key, Row row);
+  // Buffers an insert. Commit fails with kAborted if the key exists.
+  void Insert(storage::Table* table, Key key, Row row);
+  // Buffers a delete (installs a tombstone version).
+  void Delete(storage::Table* table, Key key);
+
+  // Collapses repeated writes to the same (table, key) down to the last
+  // one in program order, so each key has exactly one installed version
+  // per commit timestamp. Called by Commit; idempotent.
+  void CoalesceWrites();
+
+  Timestamp read_ts() const { return read_ts_; }
+  const std::vector<WriteEntry>& write_set() const { return write_set_; }
+  const std::vector<ReadEntry>& read_set() const { return read_set_; }
+
+  // Log metadata consumed by the commit hook. For procedural transactions
+  // the command log records (proc_id, params); ad-hoc transactions
+  // (is_adhoc) are logged via row-level logical records instead (§4.5).
+  void SetLogContext(ProcId proc_id, const std::vector<Value>* params,
+                     bool is_adhoc) {
+    proc_id_ = proc_id;
+    params_ = params;
+    is_adhoc_ = is_adhoc;
+  }
+  ProcId proc_id() const { return proc_id_; }
+  const std::vector<Value>* params() const { return params_; }
+  bool is_adhoc() const { return is_adhoc_; }
+
+ private:
+  friend class TransactionManager;
+  Timestamp read_ts_ = kInvalidTimestamp;
+  std::vector<ReadEntry> read_set_;
+  std::vector<WriteEntry> write_set_;
+  ProcId proc_id_ = kAdhocProcId;
+  const std::vector<Value>* params_ = nullptr;
+  bool is_adhoc_ = true;
+};
+
+// Result of a successful commit.
+struct CommitInfo {
+  Timestamp commit_ts = kInvalidTimestamp;  // Also the commit order ticket.
+  Epoch epoch = 0;
+};
+
+class TransactionManager {
+ public:
+  // `hook`, if set, runs inside the commit critical section after a
+  // transaction passes validation; the logging subsystem uses it to
+  // capture commit-ordered log records.
+  using CommitHook =
+      std::function<void(const Transaction&, const CommitInfo&)>;
+
+  explicit TransactionManager(EpochManager* epochs)
+      : epochs_(epochs) {}
+  PACMAN_DISALLOW_COPY_AND_MOVE(TransactionManager);
+
+  Transaction Begin() {
+    Transaction t;
+    t.read_ts_ = last_committed_.load(std::memory_order_acquire);
+    return t;
+  }
+
+  // Validates and installs. Returns kAborted on conflict, in which case
+  // nothing was installed and the caller may retry with a fresh Begin().
+  Status Commit(Transaction* t, CommitInfo* info);
+
+  void Abort(Transaction* t) {
+    t->read_set_.clear();
+    t->write_set_.clear();
+  }
+
+  void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+  Timestamp LastCommitted() const {
+    return last_committed_.load(std::memory_order_acquire);
+  }
+
+  // Advances the timestamp/commit-order sources after recovery so that new
+  // transactions commit after everything that was replayed.
+  void ResetAfterRecovery(Timestamp last_committed) {
+    last_committed_.store(last_committed, std::memory_order_release);
+    next_ts_.store(last_committed + 1, std::memory_order_release);
+  }
+
+  uint64_t num_aborts() const {
+    return num_aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EpochManager* epochs_;
+  SpinLatch commit_latch_;
+  // Timestamp 1 is reserved for bulk-loaded data.
+  std::atomic<Timestamp> next_ts_{2};
+  std::atomic<Timestamp> last_committed_{1};
+  std::atomic<uint64_t> num_aborts_{0};
+  CommitHook hook_;
+};
+
+}  // namespace pacman::txn
+
+#endif  // PACMAN_TXN_TRANSACTION_MANAGER_H_

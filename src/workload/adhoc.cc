@@ -1,0 +1,18 @@
+#include "workload/adhoc.h"
+
+namespace pacman::workload {
+
+Status ExecuteAdhocWrites(storage::Catalog* catalog,
+                          txn::TransactionManager* txns,
+                          const std::vector<AdhocWrite>& writes,
+                          txn::CommitInfo* info) {
+  txn::Transaction t = txns->Begin();
+  for (const AdhocWrite& w : writes) {
+    storage::Table* table = catalog->GetTable(w.table);
+    t.Write(table, w.key, w.row);
+  }
+  t.SetLogContext(kAdhocProcId, nullptr, /*is_adhoc=*/true);
+  return txns->Commit(&t, info);
+}
+
+}  // namespace pacman::workload

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Ad-hoc transactions (paper §4.5, §6.1.2, §6.2.4).
+//
+// The paper's experiment randomly tags a fraction of benchmark
+// transactions as ad-hoc: they execute the same logic, but because they
+// did not arrive as a stored-procedure request, the DBMS must persist
+// their row-level write set with logical logging instead of a command
+// record. This header provides the tagging policy plus a generator of
+// genuinely free-form write transactions used by tests.
+#ifndef PACMAN_WORKLOAD_ADHOC_H_
+#define PACMAN_WORKLOAD_ADHOC_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+#include "txn/transaction_manager.h"
+
+namespace pacman::workload {
+
+// Tags a transaction as ad-hoc with probability `fraction`.
+inline bool TagAdhoc(Rng* rng, double fraction) {
+  return fraction > 0.0 && rng->Bernoulli(fraction);
+}
+
+// One blind write for a free-form ad-hoc transaction.
+struct AdhocWrite {
+  std::string table;
+  Key key = 0;
+  Row row;
+};
+
+// Executes a free-form transaction consisting of blind writes against
+// existing keys. Returns the commit status.
+Status ExecuteAdhocWrites(storage::Catalog* catalog,
+                          txn::TransactionManager* txns,
+                          const std::vector<AdhocWrite>& writes,
+                          txn::CommitInfo* info);
+
+}  // namespace pacman::workload
+
+#endif  // PACMAN_WORKLOAD_ADHOC_H_

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// The paper's running example (Figs. 2-5): bank Transfer and Deposit
+// procedures over Family / Current / Saving / Stats tables. Used by the
+// examples, by the static-analysis unit tests (the expected slice and
+// block structure is spelled out in the paper) and by Fig. 5's graph dump.
+#ifndef PACMAN_WORKLOAD_BANK_H_
+#define PACMAN_WORKLOAD_BANK_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "proc/registry.h"
+#include "storage/catalog.h"
+
+namespace pacman::workload {
+
+struct BankConfig {
+  int64_t num_users = 1000;
+  int64_t num_nations = 16;
+  // Every even user 2i is married to 2i+1; a fraction have no spouse.
+  double single_fraction = 0.1;
+};
+
+class Bank {
+ public:
+  explicit Bank(BankConfig config = BankConfig{}) : config_(config) {}
+
+  // Creates Family/Current/Saving/Stats in `catalog`.
+  void CreateTables(storage::Catalog* catalog);
+  // Registers Transfer and Deposit; remembers their ProcIds.
+  void RegisterProcedures(proc::ProcedureRegistry* registry);
+  // Bulk-loads the initial state at timestamp 1.
+  void Load(storage::Catalog* catalog);
+
+  // Generates one transaction request (procedure id + parameters).
+  ProcId NextTransaction(Rng* rng, std::vector<Value>* params) const;
+
+  ProcId transfer_id() const { return transfer_id_; }
+  ProcId deposit_id() const { return deposit_id_; }
+  const BankConfig& config() const { return config_; }
+
+ private:
+  BankConfig config_;
+  ProcId transfer_id_ = 0;
+  ProcId deposit_id_ = 0;
+};
+
+}  // namespace pacman::workload
+
+#endif  // PACMAN_WORKLOAD_BANK_H_

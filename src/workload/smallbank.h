@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Smallbank benchmark (paper §6, [11]): three tables (Accounts, Savings,
+// Checking) and six short procedures. Balance is read-only; the other five
+// modify one to three rows, which is why Smallbank's tuple-level and
+// command logs are similar in size (Table 1).
+#ifndef PACMAN_WORKLOAD_SMALLBANK_H_
+#define PACMAN_WORKLOAD_SMALLBANK_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "proc/registry.h"
+#include "storage/catalog.h"
+
+namespace pacman::workload {
+
+struct SmallbankConfig {
+  int64_t num_accounts = 100000;
+  // Fraction of requests targeting a small hot set (contention knob).
+  double hotspot_fraction = 0.25;
+  int64_t hotspot_size = 100;
+};
+
+class Smallbank {
+ public:
+  explicit Smallbank(SmallbankConfig config = SmallbankConfig{})
+      : config_(config) {}
+
+  void CreateTables(storage::Catalog* catalog);
+  void RegisterProcedures(proc::ProcedureRegistry* registry);
+  void Load(storage::Catalog* catalog);
+
+  ProcId NextTransaction(Rng* rng, std::vector<Value>* params) const;
+
+  ProcId amalgamate_id() const { return amalgamate_id_; }
+  ProcId deposit_checking_id() const { return deposit_checking_id_; }
+  ProcId send_payment_id() const { return send_payment_id_; }
+  ProcId transact_savings_id() const { return transact_savings_id_; }
+  ProcId write_check_id() const { return write_check_id_; }
+  ProcId balance_id() const { return balance_id_; }
+  const SmallbankConfig& config() const { return config_; }
+
+ private:
+  int64_t PickAccount(Rng* rng) const;
+
+  SmallbankConfig config_;
+  ProcId amalgamate_id_ = 0;
+  ProcId deposit_checking_id_ = 0;
+  ProcId send_payment_id_ = 0;
+  ProcId transact_savings_id_ = 0;
+  ProcId write_check_id_ = 0;
+  ProcId balance_id_ = 0;
+};
+
+}  // namespace pacman::workload
+
+#endif  // PACMAN_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,163 @@
+// Tests for the latch-crabbing B+tree, including property-style sweeps and
+// a multi-threaded smoke test.
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pacman::storage {
+namespace {
+
+void* Ptr(uint64_t v) { return reinterpret_cast<void*>(v); }
+
+TEST(BPlusTreeTest, EmptyLookup) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.Lookup(1), nullptr);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(5, Ptr(50)));
+  EXPECT_TRUE(tree.Insert(3, Ptr(30)));
+  EXPECT_FALSE(tree.Insert(5, Ptr(99)));  // Duplicate rejected.
+  EXPECT_EQ(tree.Lookup(5), Ptr(50));     // Original value kept.
+  EXPECT_EQ(tree.Lookup(3), Ptr(30));
+  EXPECT_EQ(tree.Lookup(4), nullptr);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BPlusTreeTest, UpsertOverwrites) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.Upsert(7, Ptr(1)), nullptr);
+  EXPECT_EQ(tree.Upsert(7, Ptr(2)), Ptr(1));
+  EXPECT_EQ(tree.Lookup(7), Ptr(2));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, SplitsPreserveAllKeysAscending) {
+  BPlusTree tree;
+  const uint64_t n = 10000;
+  for (uint64_t k = 0; k < n; ++k) ASSERT_TRUE(tree.Insert(k, Ptr(k + 1)));
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GT(tree.Height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (uint64_t k = 0; k < n; ++k) ASSERT_EQ(tree.Lookup(k), Ptr(k + 1));
+}
+
+TEST(BPlusTreeTest, SplitsPreserveAllKeysDescending) {
+  BPlusTree tree;
+  const uint64_t n = 10000;
+  for (uint64_t k = n; k > 0; --k) ASSERT_TRUE(tree.Insert(k, Ptr(k)));
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (uint64_t k = 1; k <= n; ++k) ASSERT_EQ(tree.Lookup(k), Ptr(k));
+}
+
+TEST(BPlusTreeTest, ScanFromVisitsInOrder) {
+  BPlusTree tree;
+  for (uint64_t k = 0; k < 1000; k += 2) tree.Insert(k, Ptr(k + 1));
+  std::vector<Key> seen;
+  tree.ScanFrom(101, [&](Key k, void*) {
+    seen.push_back(k);
+    return seen.size() < 5;
+  });
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front(), 102u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BPlusTreeTest, ScanWholeTree) {
+  BPlusTree tree;
+  Rng rng(5);
+  std::map<Key, void*> model;
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.Uniform(0, 1u << 20);
+    if (model.emplace(k, Ptr(k + 7)).second) tree.Insert(k, Ptr(k + 7));
+  }
+  std::vector<Key> seen;
+  tree.ScanFrom(0, [&](Key k, void*) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), model.size());
+  auto it = model.begin();
+  for (Key k : seen) EXPECT_EQ(k, (it++)->first);
+}
+
+// Property sweep: random interleavings of insert/upsert vs a std::map
+// model, across several seeds.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesModel) {
+  Rng rng(GetParam());
+  BPlusTree tree;
+  std::map<Key, void*> model;
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.Uniform(0, 4000);  // Dense: many duplicates.
+    if (rng.Bernoulli(0.5)) {
+      bool inserted = tree.Insert(k, Ptr(i + 1));
+      EXPECT_EQ(inserted, model.emplace(k, Ptr(i + 1)).second);
+    } else {
+      void* prev = tree.Upsert(k, Ptr(i + 1));
+      auto it = model.find(k);
+      EXPECT_EQ(prev, it == model.end() ? nullptr : it->second);
+      model[k] = Ptr(i + 1);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (const auto& [k, v] : model) EXPECT_EQ(tree.Lookup(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 123, 31337));
+
+TEST(BPlusTreeConcurrencyTest, ParallelDisjointInserts) {
+  BPlusTree tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        Key k = static_cast<Key>(t) * kPerThread + i;
+        ASSERT_TRUE(tree.Insert(k, Ptr(k + 1)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.size(), kThreads * kPerThread);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_EQ(tree.Lookup(k), Ptr(k + 1));
+  }
+}
+
+TEST(BPlusTreeConcurrencyTest, ReadersDuringWrites) {
+  BPlusTree tree;
+  for (uint64_t k = 0; k < 10000; k += 2) tree.Insert(k, Ptr(k + 1));
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    Rng rng(1);
+    while (!stop.load()) {
+      Key k = rng.Uniform(0, 9999) & ~1ull;
+      void* v = tree.Lookup(k);
+      ASSERT_EQ(v, Ptr(k + 1));
+    }
+  });
+  for (uint64_t k = 1; k < 10000; k += 2) tree.Insert(k, Ptr(k + 1));
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace pacman::storage

@@ -1,0 +1,213 @@
+// Tests for the stored-procedure DSL: expressions, builder-derived flow
+// dependencies, the interpreter and dynamic access-set extraction.
+#include "proc/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "proc/expr.h"
+#include "proc/procedure.h"
+#include "proc/registry.h"
+#include "storage/catalog.h"
+#include "workload/bank.h"
+
+namespace pacman::proc {
+namespace {
+
+TEST(ExprTest, EvalArithmeticAndComparison) {
+  std::vector<Value> params = {Value(int64_t{4}), Value(2.5)};
+  EvalContext ctx;
+  ctx.params = &params;
+
+  EXPECT_EQ(Add(P(0), C(int64_t{3}))->Eval(ctx).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Mul(P(0), P(1))->Eval(ctx).AsDouble(), 10.0);
+  EXPECT_EQ(Gt(P(0), C(int64_t{3}))->Eval(ctx).AsInt64(), 1);
+  EXPECT_EQ(Lt(P(0), C(int64_t{3}))->Eval(ctx).AsInt64(), 0);
+  EXPECT_EQ(Mod(C(int64_t{17}), C(int64_t{5}))->Eval(ctx).AsInt64(), 2);
+  EXPECT_EQ(Mod(C(int64_t{-3}), C(int64_t{5}))->Eval(ctx).AsInt64(), 2);
+}
+
+TEST(ExprTest, FieldOnAbsentLocalIsNull) {
+  std::vector<Value> params;
+  std::vector<Row> locals(1);
+  std::vector<uint8_t> present = {0};
+  EvalContext ctx{&params, &locals, &present};
+  EXPECT_TRUE(F(0, 0)->Eval(ctx).is_null());
+  EXPECT_EQ(Exists(0)->Eval(ctx).AsInt64(), 0);
+  present[0] = 1;
+  locals[0] = {Value(int64_t{9})};
+  EXPECT_EQ(F(0, 0)->Eval(ctx).AsInt64(), 9);
+  EXPECT_EQ(Exists(0)->Eval(ctx).AsInt64(), 1);
+}
+
+TEST(ExprTest, PackBuildsCompositeKeys) {
+  std::vector<Value> params = {Value(int64_t{3}), Value(int64_t{7})};
+  EvalContext ctx;
+  ctx.params = &params;
+  ExprPtr key = Expr::Pack({P(0), P(1)}, {0, 8});
+  EXPECT_EQ(key->EvalKey(ctx), (3u << 8) | 7u);
+}
+
+TEST(ExprTest, ResolvableTracksLocals) {
+  std::vector<Value> params = {Value(int64_t{1})};
+  std::vector<Row> locals(1);
+  std::vector<uint8_t> present = {0};
+  EvalContext ctx{&params, &locals, &present};
+  EXPECT_TRUE(P(0)->Resolvable(ctx));
+  EXPECT_FALSE(F(0, 0)->Resolvable(ctx));
+  EXPECT_TRUE(Exists(0)->Resolvable(ctx));  // Absence is an answer.
+  present[0] = 1;
+  locals[0] = {Value(int64_t{2})};
+  EXPECT_TRUE(F(0, 0)->Resolvable(ctx));
+}
+
+TEST(ExprTest, CollectRefsFindsParamsAndLocals) {
+  ExprPtr e = Add(Mul(P(1), F(0, 2)), F(3, 0));
+  std::vector<int> params, locals;
+  e->CollectRefs(&params, &locals);
+  EXPECT_EQ(params, (std::vector<int>{1}));
+  std::sort(locals.begin(), locals.end());
+  EXPECT_EQ(locals, (std::vector<int>{0, 3}));
+}
+
+TEST(BuilderTest, FlowDepsFromDefineUseAndControl) {
+  // op0: l0 = read(T, p0)
+  // op1: write(T, p0, f(l0))        -- define-use dep on op0
+  // op2 guarded by l0: l1 = read(U, p1)   -- control dep on op0
+  // op3: write(U, p1, f(l1))        -- define-use dep on op2 (+ guard dep).
+  ProcedureBuilder b("p", 2);
+  int l0 = b.Read("T", P(0));
+  b.Update("T", P(0), l0, {{0, Add(F(l0, 0), C(int64_t{1}))}});
+  b.BeginIf(Exists(l0));
+  int l1 = b.Read("U", P(1));
+  b.Update("U", P(1), l1, {{0, F(l1, 0)}});
+  b.EndIf();
+  ProcedureDef def = b.Build();
+
+  ASSERT_EQ(def.ops.size(), 4u);
+  EXPECT_EQ(def.ops[0].flow_deps, (std::vector<OpIndex>{}));
+  EXPECT_EQ(def.ops[1].flow_deps, (std::vector<OpIndex>{0}));
+  EXPECT_EQ(def.ops[2].flow_deps, (std::vector<OpIndex>{0}));
+  std::vector<OpIndex> d3 = def.ops[3].flow_deps;
+  EXPECT_EQ(d3, (std::vector<OpIndex>{0, 2}));
+  EXPECT_EQ(def.num_locals, 2);
+  EXPECT_EQ(def.ops[2].guard != nullptr, true);
+}
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest() : registry_(&catalog_) {
+    bank_.CreateTables(&catalog_);
+    bank_.RegisterProcedures(&registry_);
+    bank_.Load(&catalog_);
+  }
+
+  storage::Catalog catalog_;
+  ProcedureRegistry registry_;
+  workload::Bank bank_{workload::BankConfig{.num_users = 100,
+                                            .num_nations = 4,
+                                            .single_fraction = 0.0}};
+};
+
+TEST_F(InterpreterTest, TransferMovesMoney) {
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(10);
+  const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
+  // User 0's spouse is user 1 (single_fraction = 0).
+  ProcState state(&transfer, {Value(int64_t{0}), Value(100.0)});
+  ASSERT_TRUE(ExecuteAll(&state, &access).ok());
+
+  Row src, dst, sav;
+  ASSERT_TRUE(catalog_.GetTable("Current")->Read(0, 10, &src).ok());
+  ASSERT_TRUE(catalog_.GetTable("Current")->Read(1, 10, &dst).ok());
+  ASSERT_TRUE(catalog_.GetTable("Saving")->Read(0, 10, &sav).ok());
+  EXPECT_DOUBLE_EQ(src[0].AsDouble(), 1000.0 - 100.0);
+  EXPECT_DOUBLE_EQ(dst[0].AsDouble(), 1001.0 + 100.0);
+  EXPECT_DOUBLE_EQ(sav[0].AsDouble(), 5001.0);  // +$1 bonus.
+  EXPECT_EQ(access.writes(), 3u);
+  EXPECT_EQ(access.reads(), 4u);
+}
+
+TEST_F(InterpreterTest, GuardSkipsBody) {
+  // Nation deposits below the threshold touch only Current.
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(10);
+  const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
+  ProcState state(&deposit,
+                  {Value(int64_t{5}), Value(1.0), Value(int64_t{2})});
+  ASSERT_TRUE(ExecuteAll(&state, &access).ok());
+  EXPECT_EQ(access.writes(), 1u);
+  Row stats;
+  ASSERT_TRUE(catalog_.GetTable("Stats")->Read(2, 10, &stats).ok());
+  EXPECT_EQ(stats[0].AsInt64(), 0);
+}
+
+TEST_F(InterpreterTest, GuardTriggersBody) {
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(10);
+  const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
+  ProcState state(&deposit,
+                  {Value(int64_t{5}), Value(20000.0), Value(int64_t{2})});
+  ASSERT_TRUE(ExecuteAll(&state, &access).ok());
+  EXPECT_EQ(access.writes(), 3u);
+  Row stats;
+  ASSERT_TRUE(catalog_.GetTable("Stats")->Read(2, 10, &stats).ok());
+  EXPECT_EQ(stats[0].AsInt64(), 1);
+}
+
+TEST_F(InterpreterTest, ExecuteOpsSubsetSharesState) {
+  // Execute the Transfer ops in two stages, like recovery pieces would.
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(10);
+  const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
+  ProcState state(&transfer, {Value(int64_t{2}), Value(50.0)});
+  ASSERT_TRUE(ExecuteOps({0}, &state, &access).ok());  // Family read.
+  EXPECT_TRUE(state.present[0]);
+  ASSERT_TRUE(ExecuteOps({1, 2, 3, 4, 5, 6}, &state, &access).ok());
+  Row dst;
+  ASSERT_TRUE(catalog_.GetTable("Current")->Read(3, 10, &dst).ok());
+  EXPECT_DOUBLE_EQ(dst[0].AsDouble(), 1003.0 + 50.0);
+}
+
+TEST_F(InterpreterTest, AccessSetResolvableAfterUpstreamRead) {
+  const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
+  ProcState state(&transfer, {Value(int64_t{0}), Value(10.0)});
+
+  // Ops 1-4 (Current accesses) use dst = F(l0, 0): unresolved until the
+  // Family read ran.
+  std::vector<std::pair<TableId, Key>> accesses;
+  EXPECT_FALSE(TryExtractAccessSet({1, 2, 3, 4}, state, &accesses));
+
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(5);
+  ASSERT_TRUE(ExecuteOps({0}, &state, &access).ok());
+  ASSERT_TRUE(TryExtractAccessSet({1, 2, 3, 4}, state, &accesses));
+  ASSERT_EQ(accesses.size(), 4u);
+  const TableId current = catalog_.GetTableId("Current");
+  EXPECT_EQ(accesses[0], (std::pair<TableId, Key>{current, 0}));
+  EXPECT_EQ(accesses[2], (std::pair<TableId, Key>{current, 1}));
+}
+
+TEST_F(InterpreterTest, AccessSetOmitsGuardedOutOps) {
+  const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
+  ProcState state(&deposit,
+                  {Value(int64_t{5}), Value(1.0), Value(int64_t{0})});
+  ReplayAccess access(&catalog_, InstallMode::kUnlatched);
+  access.set_commit_ts(5);
+  ASSERT_TRUE(ExecuteOps({0}, &state, &access).ok());  // Read Current.
+  // Stats ops (indices 4,5) are guarded by the >10000 condition == false.
+  std::vector<std::pair<TableId, Key>> accesses;
+  ASSERT_TRUE(TryExtractAccessSet({4, 5}, state, &accesses));
+  EXPECT_TRUE(accesses.empty());
+}
+
+TEST_F(InterpreterTest, RegistryResolvesTablesAndNames) {
+  EXPECT_EQ(registry_.size(), 2u);
+  EXPECT_NE(registry_.Find("Transfer"), nullptr);
+  EXPECT_EQ(registry_.Find("Nope"), nullptr);
+  for (const Operation& op : registry_.Get(bank_.transfer_id()).ops) {
+    EXPECT_NE(op.table_id, kInvalidTableId);
+  }
+}
+
+}  // namespace
+}  // namespace pacman::proc

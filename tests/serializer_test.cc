@@ -1,0 +1,191 @@
+// Tests for common/serializer.h and the log record / batch formats.
+#include "common/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "logging/log_record.h"
+#include "logging/log_store.h"
+
+namespace pacman {
+namespace {
+
+TEST(SerializerTest, PrimitivesRoundTrip) {
+  Serializer s;
+  s.PutU8(7);
+  s.PutU32(123456);
+  s.PutU64(0xdeadbeefcafebabeull);
+  s.PutI64(-42);
+  s.PutDouble(2.5);
+  s.PutString("abc");
+
+  Deserializer d(s.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double dbl;
+  std::string str;
+  ASSERT_TRUE(d.GetU8(&u8).ok());
+  ASSERT_TRUE(d.GetU32(&u32).ok());
+  ASSERT_TRUE(d.GetU64(&u64).ok());
+  ASSERT_TRUE(d.GetI64(&i64).ok());
+  ASSERT_TRUE(d.GetDouble(&dbl).ok());
+  ASSERT_TRUE(d.GetString(&str).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(dbl, 2.5);
+  EXPECT_EQ(str, "abc");
+  EXPECT_TRUE(d.AtEnd());
+}
+
+TEST(SerializerTest, UnderflowReturnsCorruption) {
+  Serializer s;
+  s.PutU8(1);
+  Deserializer d(s.data());
+  uint64_t u64;
+  EXPECT_EQ(d.GetU64(&u64).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializerTest, RowRoundTrip) {
+  Row row = {Value(int64_t{-5}), Value(1.5), Value(std::string("s")),
+             Value::Null()};
+  Serializer s;
+  s.PutRow(row);
+  Deserializer d(s.data());
+  Row out;
+  ASSERT_TRUE(d.GetRow(&out).ok());
+  ASSERT_EQ(out.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) EXPECT_EQ(out[i], row[i]);
+}
+
+TEST(LogRecordTest, CommandRecordRoundTrip) {
+  logging::LogRecord rec;
+  rec.commit_ts = 99;
+  rec.epoch = 3;
+  rec.proc = 2;
+  rec.params = {Value(int64_t{7}), Value(2.5), Value(std::string("p"))};
+
+  Serializer s;
+  logging::SerializeRecord(logging::LogScheme::kCommand, rec, &s);
+  Deserializer d(s.data());
+  logging::LogRecord out;
+  ASSERT_TRUE(
+      logging::DeserializeRecord(logging::LogScheme::kCommand, &d, &out)
+          .ok());
+  EXPECT_EQ(out.commit_ts, 99u);
+  EXPECT_EQ(out.epoch, 3u);
+  EXPECT_EQ(out.proc, 2u);
+  ASSERT_EQ(out.params.size(), 3u);
+  EXPECT_EQ(out.params[1], Value(2.5));
+  EXPECT_FALSE(out.is_adhoc());
+}
+
+TEST(LogRecordTest, AdhocCommandRecordCarriesWrites) {
+  logging::LogRecord rec;
+  rec.commit_ts = 100;
+  rec.epoch = 1;
+  rec.proc = kAdhocProcId;
+  rec.writes.push_back({1, 42, {Value(int64_t{1})}, false});
+  rec.writes.push_back({2, 43, {}, true});
+
+  Serializer s;
+  logging::SerializeRecord(logging::LogScheme::kCommand, rec, &s);
+  Deserializer d(s.data());
+  logging::LogRecord out;
+  ASSERT_TRUE(
+      logging::DeserializeRecord(logging::LogScheme::kCommand, &d, &out)
+          .ok());
+  EXPECT_TRUE(out.is_adhoc());
+  ASSERT_EQ(out.writes.size(), 2u);
+  EXPECT_EQ(out.writes[0].table, 1u);
+  EXPECT_EQ(out.writes[0].key, 42u);
+  EXPECT_TRUE(out.writes[1].deleted);
+}
+
+TEST(LogRecordTest, PhysicalRecordsAreLargerThanLogical) {
+  logging::LogRecord rec;
+  rec.commit_ts = 1;
+  rec.epoch = 1;
+  rec.writes.push_back({1, 7, {Value(int64_t{5}), Value(2.0)}, false});
+
+  Serializer pl, ll;
+  logging::SerializeRecord(logging::LogScheme::kPhysical, rec, &pl);
+  logging::SerializeRecord(logging::LogScheme::kLogical, rec, &ll);
+  // Physical adds two 8-byte version addresses per write (§6.1.1).
+  EXPECT_EQ(pl.size(), ll.size() + 16u);
+}
+
+TEST(LogRecordTest, PhysicalAndLogicalRoundTrip) {
+  for (auto scheme :
+       {logging::LogScheme::kPhysical, logging::LogScheme::kLogical}) {
+    logging::LogRecord rec;
+    rec.commit_ts = 5;
+    rec.epoch = 2;
+    rec.writes.push_back({3, 11, {Value(std::string("row"))}, false});
+    Serializer s;
+    logging::SerializeRecord(scheme, rec, &s);
+    Deserializer d(s.data());
+    logging::LogRecord out;
+    ASSERT_TRUE(logging::DeserializeRecord(scheme, &d, &out).ok());
+    ASSERT_EQ(out.writes.size(), 1u);
+    EXPECT_EQ(out.writes[0].table, 3u);
+    EXPECT_EQ(out.writes[0].key, 11u);
+    EXPECT_EQ(out.writes[0].after[0], Value(std::string("row")));
+  }
+}
+
+TEST(LogBatchTest, BatchRoundTrip) {
+  logging::LogBatch batch;
+  batch.logger_id = 1;
+  batch.seq = 4;
+  batch.first_epoch = 10;
+  batch.last_epoch = 14;
+  for (int i = 0; i < 10; ++i) {
+    logging::LogRecord rec;
+    rec.commit_ts = 100 + i;
+    rec.epoch = 10 + i / 2;
+    rec.proc = 0;
+    rec.params = {Value(int64_t{i})};
+    batch.records.push_back(rec);
+  }
+  auto bytes =
+      logging::LogStore::SerializeBatch(logging::LogScheme::kCommand, batch);
+  logging::LogBatch out;
+  ASSERT_TRUE(logging::LogStore::DeserializeBatch(
+                  logging::LogScheme::kCommand, bytes, &out)
+                  .ok());
+  EXPECT_EQ(out.logger_id, 1u);
+  EXPECT_EQ(out.seq, 4u);
+  ASSERT_EQ(out.records.size(), 10u);
+  EXPECT_EQ(out.records[9].commit_ts, 109u);
+  EXPECT_EQ(out.file_bytes, bytes.size());
+}
+
+TEST(LogBatchTest, CorruptBatchRejected) {
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5};
+  logging::LogBatch out;
+  EXPECT_FALSE(logging::LogStore::DeserializeBatch(
+                   logging::LogScheme::kCommand, garbage, &out)
+                   .ok());
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(17), b(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    int64_t n = r.NuRand(255, 0, 999);
+    EXPECT_GE(n, 0);
+    EXPECT_LE(n, 999);
+  }
+  EXPECT_EQ(r.AlphaString(12).size(), 12u);
+}
+
+}  // namespace
+}  // namespace pacman
