@@ -12,9 +12,9 @@
 namespace pacman::bench {
 namespace {
 
-void RunConfig(uint32_t num_ssds) {
-  std::printf("\n--- Fig. 11%s: %u SSD(s) ---\n",
-              num_ssds == 1 ? "a" : "b", num_ssds);
+void RunConfig(uint32_t num_ssds, uint32_t threads) {
+  std::printf("\n--- Fig. 11%s: %u SSD(s), %u worker(s) ---\n",
+              num_ssds == 1 ? "a" : "b", num_ssds, threads);
   std::printf("%-7s %10s | per-100s window: tps (Ktps) / p.latency (ms)\n",
               "scheme", "B/txn");
   for (auto scheme :
@@ -23,7 +23,10 @@ void RunConfig(uint32_t num_ssds) {
     double bytes_per_txn = 0.0;
     if (scheme != logging::LogScheme::kOff) {
       Env env = MakeTpccEnv(scheme);
-      bytes_per_txn = MeasureBytesPerTxn(&env, 3000);
+      DriverResult forward;
+      bytes_per_txn = MeasureBytesPerTxn(&env, 3000, 0.0, 42, threads,
+                                         &forward);
+      PrintForwardStats(logging::LogSchemeName(scheme), forward);
     }
     LoggingSimParams p;
     p.bytes_per_txn = bytes_per_txn;
@@ -49,12 +52,13 @@ void RunConfig(uint32_t num_ssds) {
 }  // namespace
 }  // namespace pacman::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const uint32_t threads = pacman::ThreadsFlag(argc, argv);
   pacman::bench::PrintTitle(
       "Fig. 11 - Throughput and latency during transaction processing "
       "(TPC-C)");
-  pacman::bench::RunConfig(1);
-  pacman::bench::RunConfig(2);
+  pacman::bench::RunConfig(1, threads);
+  pacman::bench::RunConfig(2, threads);
   std::printf(
       "\nExpected shape (paper): PL/LL throughput dips ~25%% and latency\n"
       "spikes during checkpoint windows on one SSD, improving with two\n"

@@ -10,11 +10,14 @@ namespace {
 
 using recovery::Scheme;
 
-void Run(Scheme scheme, logging::LogScheme format, const char* fig) {
+void Run(Scheme scheme, logging::LogScheme format, const char* fig,
+         uint32_t threads) {
   Env env = MakeTpccEnv(format);
-  const uint64_t hash = RunWorkload(&env, 6000);
+  DriverResult forward = RunWorkloadThreaded(&env, 6000, threads);
+  const uint64_t hash = env.db->ContentHash();
   std::printf("--- Fig. 15%s: %s ---\n", fig,
               pacman::recovery::SchemeName(scheme));
+  PrintForwardStats("load", forward);
   std::printf("%-8s %14s %14s\n", "threads", "with latch", "without latch");
   for (uint32_t threads : PaperThreadCounts()) {
     double with_latch, without_latch;
@@ -37,13 +40,14 @@ void Run(Scheme scheme, logging::LogScheme format, const char* fig) {
 }  // namespace
 }  // namespace pacman::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pacman::bench;
+  const uint32_t threads = pacman::ThreadsFlag(argc, argv);
   PrintTitle("Fig. 15 - Latching bottleneck in tuple-level log recovery");
   Run(pacman::recovery::Scheme::kPlr, pacman::logging::LogScheme::kPhysical,
-      "a");
+      "a", threads);
   Run(pacman::recovery::Scheme::kLlr, pacman::logging::LogScheme::kLogical,
-      "b");
+      "b", threads);
   std::printf(
       "\nExpected shape (paper): with latches both schemes bottom out\n"
       "around 20 threads and then regress; without latches they keep\n"

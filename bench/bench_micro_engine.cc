@@ -1,16 +1,19 @@
 // Engine micro-benchmarks (google-benchmark): index operations, value
-// hashing, log-record serialization, expression evaluation and commits.
+// hashing, log-record serialization, expression evaluation, commits and
+// multi-worker forward-processing throughput.
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
 #include "common/serializer.h"
 #include "logging/log_record.h"
+#include "pacman/database.h"
 #include "proc/expr.h"
 #include "storage/bplus_tree.h"
 #include "storage/catalog.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 #include "txn/transaction_manager.h"
+#include "workload/bank.h"
 
 namespace pacman {
 namespace {
@@ -101,6 +104,51 @@ void BM_TxnCommitSingleWrite(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TxnCommitSingleWrite);
+
+// Forward-processing scaling: the bank workload driven end-to-end (OCC
+// retry, per-worker command logging, epoch group commit) across worker
+// counts. items/s is committed transactions per second; the
+// txn_per_s_per_worker counter is the scaling metric (flat == linear).
+void BM_ForwardProcessingBank(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kTxns = 20000;
+  uint64_t committed = 0;
+  double per_worker = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseOptions opts;
+    opts.scheme = logging::LogScheme::kCommand;
+    Database db(opts);
+    workload::Bank bank({.num_users = 20000, .num_nations = 16,
+                         .single_fraction = 0.0});
+    bank.CreateTables(db.catalog());
+    bank.RegisterProcedures(db.registry());
+    bank.Load(db.catalog());
+    db.FinalizeSchema();
+    db.TakeCheckpoint();
+    state.ResumeTiming();
+
+    DriverOptions dopts;
+    dopts.num_workers = threads;
+    dopts.num_txns = kTxns;
+    DriverResult r = db.RunWorkers(
+        [&bank](Rng* rng, std::vector<Value>* params) {
+          return bank.NextTransaction(rng, params);
+        },
+        dopts);
+    committed += r.committed;
+    per_worker = r.TxnsPerSecondPerWorker();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["txn_per_s_per_worker"] = per_worker;
+}
+BENCHMARK(BM_ForwardProcessingBank)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace pacman

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/workload_driver.h"
 #include "workload/adhoc.h"
 #include "workload/smallbank.h"
 #include "workload/tpcc.h"
@@ -80,6 +82,26 @@ inline Env MakeSmallbankEnv(logging::LogScheme scheme) {
   return env;
 }
 
+// The `--threads N` dimension is parsed with pacman::ThreadsFlag
+// (common/flags.h), shared with the examples.
+
+// Runs `n` transactions on `threads` forward-processing workers (after
+// taking the baseline checkpoint) and returns the driver result. The
+// pre-crash content hash is env->db->ContentHash() afterwards.
+inline DriverResult RunWorkloadThreaded(Env* env, int n, uint32_t threads,
+                                        double adhoc_fraction = 0.0,
+                                        uint64_t seed = 42) {
+  env->db->TakeCheckpoint();
+  DriverOptions opts;
+  opts.num_workers = threads;
+  opts.num_txns = static_cast<uint64_t>(n);
+  opts.adhoc_fraction = adhoc_fraction;
+  opts.seed = seed;
+  DriverResult r = env->db->RunWorkers(env->next_txn, opts);
+  PACMAN_CHECK(r.failed == 0);
+  return r;
+}
+
 // Runs `n` transactions (optionally tagging an ad-hoc fraction) after
 // taking the baseline checkpoint. Returns the pre-crash content hash.
 inline uint64_t RunWorkload(Env* env, int n, double adhoc_fraction = 0.0,
@@ -96,6 +118,19 @@ inline uint64_t RunWorkload(Env* env, int n, double adhoc_fraction = 0.0,
   return env->db->ContentHash();
 }
 
+// One line of forward-processing numbers: aggregate and per-worker
+// throughput (txn/s per thread), so scaling regressions show up directly
+// in recorded BENCH_*.json entries.
+inline void PrintForwardStats(const char* label, const DriverResult& r) {
+  std::printf(
+      "%-10s workers=%2zu committed=%llu retries=%llu wall=%.3fs "
+      "tput=%.0f txn/s (%.0f txn/s/worker)\n",
+      label, r.workers.size(),
+      static_cast<unsigned long long>(r.committed),
+      static_cast<unsigned long long>(r.retries), r.wall_seconds,
+      r.TxnsPerSecond(), r.TxnsPerSecondPerWorker());
+}
+
 // Crash + recover + verify; returns the recovery result.
 inline FullRecoveryResult CrashAndRecover(
     Env* env, recovery::Scheme scheme, const recovery::RecoveryOptions& opts,
@@ -109,10 +144,18 @@ inline FullRecoveryResult CrashAndRecover(
 }
 
 // Measures the real serialized log bytes per transaction for a scheme by
-// running the workload through the actual serializers.
+// running the workload through the actual serializers. `threads` > 1
+// drives the engine concurrently (byte counts are commit-order invariant);
+// per-worker throughput is reported via *forward_stats when non-null.
 inline double MeasureBytesPerTxn(Env* env, int n, double adhoc_fraction = 0.0,
-                                 uint64_t seed = 42) {
-  RunWorkload(env, n, adhoc_fraction, seed);
+                                 uint64_t seed = 42, uint32_t threads = 1,
+                                 DriverResult* forward_stats = nullptr) {
+  if (threads > 1 || forward_stats != nullptr) {
+    DriverResult r = RunWorkloadThreaded(env, n, threads, adhoc_fraction, seed);
+    if (forward_stats != nullptr) *forward_stats = r;
+  } else {
+    RunWorkload(env, n, adhoc_fraction, seed);
+  }
   env->db->AdvanceEpoch();
   return static_cast<double>(env->db->log_manager()->total_bytes()) / n;
 }

@@ -1,9 +1,11 @@
 // Compares all five recovery schemes on the paper's bank example and
 // prints a small table of virtual recovery times, demonstrating the
 // trade-off of §2.4: command logging logs least but (without PACMAN)
-// recovers slowest.
+// recovers slowest. Forward processing runs on `--threads N` workers and
+// reports per-worker throughput.
 #include <cstdio>
 
+#include "common/flags.h"
 #include "pacman/database.h"
 #include "workload/bank.h"
 
@@ -25,9 +27,10 @@ logging::LogScheme FormatFor(recovery::Scheme s) {
 
 }  // namespace
 
-int main() {
-  std::printf("%-8s %12s %12s %12s %14s\n", "scheme", "log MB", "ckpt(s)",
-              "replay(s)", "latches");
+int main(int argc, char** argv) {
+  const uint32_t threads = ThreadsFlag(argc, argv);
+  std::printf("%-8s %12s %16s %12s %12s %14s\n", "scheme", "log MB",
+              "fwd txn/s/wkr", "ckpt(s)", "replay(s)", "latches");
   for (recovery::Scheme scheme :
        {recovery::Scheme::kPlr, recovery::Scheme::kLlr,
         recovery::Scheme::kLlrP, recovery::Scheme::kClr,
@@ -43,12 +46,16 @@ int main() {
     db.FinalizeSchema();
     db.TakeCheckpoint();
 
-    Rng rng(7);
-    std::vector<Value> params;
-    for (int i = 0; i < 10000; ++i) {
-      ProcId proc = bank.NextTransaction(&rng, &params);
-      if (!db.ExecuteProcedure(proc, params).ok()) return 1;
-    }
+    DriverOptions dopts;
+    dopts.num_workers = threads;
+    dopts.num_txns = 10000;
+    dopts.seed = 7;
+    DriverResult run = db.RunWorkers(
+        [&bank](Rng* rng, std::vector<Value>* params) {
+          return bank.NextTransaction(rng, params);
+        },
+        dopts);
+    if (run.failed != 0) return 1;
     const double log_mb = db.log_manager()->total_bytes() / 1e6;
     const uint64_t before = db.ContentHash();
     db.Crash();
@@ -60,8 +67,9 @@ int main() {
       std::printf("%s: RECOVERY MISMATCH\n", recovery::SchemeName(scheme));
       return 1;
     }
-    std::printf("%-8s %12.1f %12.3f %12.3f %14llu\n",
-                recovery::SchemeName(scheme), log_mb, r.checkpoint.seconds,
+    std::printf("%-8s %12.1f %16.0f %12.3f %12.3f %14llu\n",
+                recovery::SchemeName(scheme), log_mb,
+                run.TxnsPerSecondPerWorker(), r.checkpoint.seconds,
                 r.log.seconds,
                 static_cast<unsigned long long>(r.log.latch_acquisitions));
   }

@@ -1,18 +1,21 @@
 // Quickstart: define a schema and stored procedures, run transactions
-// under command logging, crash, and recover with PACMAN (CLR-P).
+// concurrently under command logging, crash, and recover with PACMAN
+// (CLR-P).
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--threads N]
 #include <cstdio>
 
+#include "common/flags.h"
 #include "pacman/database.h"
 #include "proc/expr.h"
 #include "workload/bank.h"
 
 using namespace pacman;  // NOLINT: example brevity.
 
-int main() {
+int main(int argc, char** argv) {
+  const uint32_t threads = ThreadsFlag(argc, argv);
   // 1. A database with command logging on two simulated SSDs.
   DatabaseOptions options;
   options.scheme = logging::LogScheme::kCommand;
@@ -30,21 +33,31 @@ int main() {
   std::printf("GDG has %zu blocks over %zu procedures\n",
               db.gdg().NumBlocks(), db.registry()->size());
 
-  // 4. Durability baseline, then forward processing.
+  // 4. Durability baseline, then forward processing on `threads` workers
+  //    of the shared execution layer (OCC retry + group commit).
   db.TakeCheckpoint();
-  Rng rng(2026);
-  std::vector<Value> params;
-  for (int i = 0; i < 20000; ++i) {
-    ProcId proc = bank.NextTransaction(&rng, &params);
-    Status s = db.ExecuteProcedure(proc, params);
-    if (!s.ok()) {
-      std::printf("txn failed: %s\n", s.ToString().c_str());
-      return 1;
-    }
+  DriverOptions dopts;
+  dopts.num_workers = threads;
+  dopts.num_txns = 20000;
+  dopts.seed = 2026;
+  DriverResult run = db.RunWorkers(
+      [&bank](Rng* rng, std::vector<Value>* params) {
+        return bank.NextTransaction(rng, params);
+      },
+      dopts);
+  if (run.failed != 0) {
+    std::printf("%llu transactions exhausted their OCC retries\n",
+                static_cast<unsigned long long>(run.failed));
+    return 1;
   }
-  std::printf("committed %llu transactions, logged %.1f MB\n",
-              static_cast<unsigned long long>(db.commits()),
-              db.log_manager()->total_bytes() / 1e6);
+  std::printf(
+      "committed %llu transactions on %u worker(s) in %.3f s\n"
+      "  %.0f txn/s aggregate, %.0f txn/s per worker, %llu OCC retries\n"
+      "  logged %.1f MB\n",
+      static_cast<unsigned long long>(run.committed), threads,
+      run.wall_seconds, run.TxnsPerSecond(), run.TxnsPerSecondPerWorker(),
+      static_cast<unsigned long long>(run.retries),
+      db.log_manager()->total_bytes() / 1e6);
 
   const uint64_t before = db.ContentHash();
 

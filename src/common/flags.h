@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Tiny shared command-line flag helpers for the example and benchmark
+// binaries (the library itself takes no flags).
+#ifndef PACMAN_COMMON_FLAGS_H_
+#define PACMAN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pacman {
+
+// Parses a `--threads N` flag — the forward-processing worker-count
+// dimension of benches and examples. Returns `def` when the flag is
+// absent; exits with a usage message on a malformed or non-positive value.
+inline uint32_t ThreadsFlag(int argc, char** argv, uint32_t def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    char* end = nullptr;
+    long v = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+    if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || v < 1) {
+      std::fprintf(stderr,
+                   "error: --threads requires a positive integer, got %s\n",
+                   i + 1 < argc ? argv[i + 1] : "(nothing)");
+      std::exit(2);
+    }
+    return static_cast<uint32_t>(v);
+  }
+  return def;
+}
+
+}  // namespace pacman
+
+#endif  // PACMAN_COMMON_FLAGS_H_

@@ -29,6 +29,10 @@ using Epoch = uint64_t;
 // Stored procedure identifier (index into the ProcedureRegistry).
 using ProcId = uint32_t;
 
+// Dense id of an execution worker (forward-processing worker thread or
+// recovery pool thread). kInvalidWorkerId marks off-pool threads.
+using WorkerId = uint32_t;
+
 // Index of an operation within a stored procedure body.
 using OpIndex = uint32_t;
 
@@ -42,6 +46,8 @@ inline constexpr Timestamp kInvalidTimestamp = 0;
 inline constexpr TableId kInvalidTableId =
     std::numeric_limits<TableId>::max();
 inline constexpr ProcId kAdhocProcId = std::numeric_limits<ProcId>::max();
+inline constexpr WorkerId kInvalidWorkerId =
+    std::numeric_limits<WorkerId>::max();
 
 }  // namespace pacman
 

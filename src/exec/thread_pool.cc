@@ -1,0 +1,55 @@
+#include "exec/thread_pool.h"
+
+#include "exec/worker_context.h"
+
+namespace pacman::exec {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  PACMAN_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (WorkerId id = 0; id < num_threads; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    PACMAN_CHECK(!stop_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(WorkerId id) {
+  WorkerScope scope(id);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and fully drained.
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    lock.unlock();
+    job();
+    lock.lock();
+    active_--;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace pacman::exec

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Shared fixed-size thread pool — the execution layer under both ends of
+// the engine: recovery task graphs (recovery::RunOnThreads) and concurrent
+// forward processing (pacman::WorkloadDriver).
+//
+// Workers are created once and tagged with dense WorkerIds [0, size);
+// submitted jobs run FIFO. WaitIdle() is the quiescence barrier callers use
+// instead of tearing the pool down between phases.
+#ifndef PACMAN_EXEC_THREAD_POOL_H_
+#define PACMAN_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace pacman::exec {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads);
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+  PACMAN_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  // Enqueues one job. Thread-safe; jobs may submit further jobs.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop(WorkerId id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Signals workers: work or shutdown.
+  std::condition_variable idle_cv_;  // Signals WaitIdle: pool quiesced.
+  std::deque<std::function<void()>> queue_;
+  uint32_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pacman::exec
+
+#endif  // PACMAN_EXEC_THREAD_POOL_H_

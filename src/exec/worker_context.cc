@@ -1,0 +1,17 @@
+#include "exec/worker_context.h"
+
+namespace pacman::exec {
+
+namespace {
+thread_local WorkerId current_worker_id = kInvalidWorkerId;
+}  // namespace
+
+WorkerId CurrentWorkerId() { return current_worker_id; }
+
+WorkerScope::WorkerScope(WorkerId id) : previous_(current_worker_id) {
+  current_worker_id = id;
+}
+
+WorkerScope::~WorkerScope() { current_worker_id = previous_; }
+
+}  // namespace pacman::exec

@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Per-worker execution context.
+//
+// Every thread that executes engine work on behalf of the shared execution
+// layer carries a dense WorkerId. Subsystems that keep per-worker state
+// (the per-worker command-log buffers of §4.5, per-worker RNGs and stats in
+// the workload driver) index it by this id instead of hashing thread ids.
+#ifndef PACMAN_EXEC_WORKER_CONTEXT_H_
+#define PACMAN_EXEC_WORKER_CONTEXT_H_
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace pacman::exec {
+
+// The WorkerId of the calling thread, or kInvalidWorkerId when the thread
+// is not running inside a WorkerScope (e.g., the main thread of a
+// single-threaded driver).
+WorkerId CurrentWorkerId();
+
+// RAII tag that binds the calling thread to `id` for its lifetime. Nesting
+// restores the previous id on destruction, so a pool worker that
+// synchronously drives a sub-pool keeps consistent attribution.
+class WorkerScope {
+ public:
+  explicit WorkerScope(WorkerId id);
+  ~WorkerScope();
+  PACMAN_DISALLOW_COPY_AND_MOVE(WorkerScope);
+
+ private:
+  WorkerId previous_;
+};
+
+}  // namespace pacman::exec
+
+#endif  // PACMAN_EXEC_WORKER_CONTEXT_H_

@@ -12,12 +12,22 @@
 // (bytes/bandwidth + fsync latency) is returned to the caller, which feeds
 // the logging-performance simulations (Figs. 11-12, Tables 1-3). The bytes
 // are real serialized bytes.
+//
+// Concurrent forward processing (§4.5 per-core logging): each worker owns
+// a local staging buffer (EnsureWorkerBuffers). Commits tagged with a
+// WorkerId append there instead of contending on the shared loggers; epoch
+// flush drains all worker buffers, merges the records back into commit-
+// timestamp order and routes them to the loggers exactly as the
+// single-threaded path would have.
 #ifndef PACMAN_LOGGING_LOG_MANAGER_H_
 #define PACMAN_LOGGING_LOG_MANAGER_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include "common/spin_latch.h"
 
 #include "common/macros.h"
 #include "common/serializer.h"
@@ -43,7 +53,7 @@ class Logger {
   PACMAN_DISALLOW_COPY_AND_MOVE(Logger);
 
   // Appends one record to the current epoch buffer (thread-safe).
-  void Append(const LogRecord& record);
+  void Append(LogRecord record);
 
   // Group commit: flushes the current epoch buffer to the batch file and
   // fsyncs. Closes the batch file every epochs_per_batch epochs.
@@ -80,13 +90,23 @@ class LogManager {
              txn::EpochManager* epochs);
   PACMAN_DISALLOW_COPY_AND_MOVE(LogManager);
 
-  // Commit hook body: builds the record for `txn` and routes it to a
-  // logger. No-op when the scheme is kOff.
+  // Commit hook body: builds the record for `txn` and routes it to the
+  // committing worker's staging buffer (if the transaction carries a
+  // WorkerId with a registered buffer) or directly to a logger. No-op when
+  // the scheme is kOff.
   void OnCommit(const txn::Transaction& txn, const txn::CommitInfo& info);
 
-  // Flushes all loggers for the epoch that just ended and advances pepoch.
-  // Returns the max flush cost across loggers (they run in parallel on
-  // separate devices) — the group-commit latency contribution.
+  // Grows the per-worker staging buffer set to at least `num_workers`
+  // buffers (never shrinks). Must not race with in-flight commits.
+  void EnsureWorkerBuffers(uint32_t num_workers);
+  size_t num_worker_buffers() const { return worker_buffers_.size(); }
+
+  // Flushes all loggers for the epoch that just ended and advances pepoch:
+  // drains the worker staging buffers into the loggers (in commit-ts
+  // order), then group-commits each logger. Returns the max flush cost
+  // across loggers (they run in parallel on separate devices) — the
+  // group-commit latency contribution. Serialized internally; safe to call
+  // while workers keep committing.
   FlushCost FlushAll(Epoch epoch);
 
   // Closes all in-progress batches (pre-crash boundary in benchmarks: the
@@ -99,10 +119,28 @@ class LogManager {
   const std::vector<device::SimulatedSsd*>& ssds() const { return ssds_; }
 
  private:
+  // One worker's local log staging area. The latch is effectively
+  // uncontended: only the owning worker appends, and only the flusher
+  // drains.
+  struct WorkerBuffer {
+    SpinLatch latch;
+    std::vector<LogRecord> records;
+  };
+
+  // Moves every staged worker record into the loggers in commit-ts order.
+  // Called with flush_mu_ held.
+  void DrainWorkerBuffers();
+  void RouteToLogger(LogRecord record);
+
   const LogScheme scheme_;
   std::vector<device::SimulatedSsd*> ssds_;
   txn::EpochManager* epochs_;
   std::vector<std::unique_ptr<Logger>> loggers_;
+
+  // Deque: WorkerBuffer holds a latch and must stay pointer-stable while
+  // EnsureWorkerBuffers grows the set between runs.
+  std::deque<WorkerBuffer> worker_buffers_;
+  std::mutex flush_mu_;  // Serializes FlushAll / FinalizeAll.
 };
 
 // Builds the log record for a committed transaction under `scheme`.

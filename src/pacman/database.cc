@@ -56,25 +56,27 @@ analysis::GlobalDependencyGraph Database::BuildChoppingGdg() const {
   return analysis::BuildGlobalGraph(chopped, registry_.procedures());
 }
 
-Status Database::ExecuteProcedure(ProcId proc,
-                                  const std::vector<Value>& params,
-                                  bool adhoc, int max_retries) {
-  PACMAN_CHECK(!crashed_);
+Status Database::Execute(ProcId proc, const std::vector<Value>& params,
+                         const ExecOptions& opts, ExecStats* stats) {
+  PACMAN_CHECK(!crashed());
   const proc::ProcedureDef& def = registry_.Get(proc);
   Status last = Status::Internal("not attempted");
-  for (int attempt = 0; attempt < max_retries; ++attempt) {
+  for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+    if (stats != nullptr) stats->attempts++;
     txn::Transaction t = txn_manager_.Begin();
     proc::TxnAccess access(&catalog_, &t);
     proc::ProcState state(&def, params);
     Status s = proc::ExecuteAll(&state, &access);
     if (!s.ok()) return s;
-    t.SetLogContext(proc, &params, adhoc);
+    t.SetLogContext(proc, &params, opts.adhoc);
+    t.set_worker_id(opts.worker_id);
     txn::CommitInfo info;
     s = txn_manager_.Commit(&t, &info);
     if (s.ok()) {
-      num_commits_++;
+      const uint64_t commits =
+          num_commits_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.commits_per_epoch != 0 &&
-          num_commits_ % options_.commits_per_epoch == 0) {
+          commits % options_.commits_per_epoch == 0) {
         AdvanceEpoch();
       }
       return s;
@@ -84,11 +86,18 @@ Status Database::ExecuteProcedure(ProcId proc,
   return last;
 }
 
+DriverResult Database::RunWorkers(const TxnGenerator& gen,
+                                  const DriverOptions& opts) {
+  WorkloadDriver driver(this, gen);
+  return driver.Run(opts);
+}
+
 logging::FlushCost Database::AdvanceEpoch() {
+  std::lock_guard<std::mutex> g(epoch_mu_);
   const Epoch finished = epochs_.current();
   epochs_.Advance();
   logging::FlushCost cost = log_manager_->FlushAll(finished);
-  total_flush_seconds_ += cost.seconds;
+  total_flush_seconds_.fetch_add(cost.seconds, std::memory_order_relaxed);
   return cost;
 }
 
@@ -99,20 +108,22 @@ logging::CheckpointMeta Database::TakeCheckpoint() {
 }
 
 void Database::Crash() {
-  PACMAN_CHECK(!crashed_);
+  PACMAN_CHECK(!crashed());
   // Close the log streams at the crash boundary: everything the loggers
   // received is durable (group commit released results only up to pepoch,
-  // so recovering slightly more than pepoch is always safe).
+  // so recovering slightly more than pepoch is always safe). The final
+  // AdvanceEpoch also drains every per-worker staging buffer, so the crash
+  // point lies on an epoch boundary with all committed work durable.
   AdvanceEpoch();
   log_manager_->FinalizeAll();
   catalog_.ResetAllTables();
-  crashed_ = true;
+  crashed_.store(true, std::memory_order_release);
 }
 
 FullRecoveryResult Database::Recover(recovery::Scheme scheme,
                                      const recovery::RecoveryOptions& opts,
                                      ExecutionBackend backend) {
-  PACMAN_CHECK(crashed_);
+  PACMAN_CHECK(crashed());
   PACMAN_CHECK(schema_finalized_);
   // Scheme/log-format compatibility (§6.2).
   switch (scheme) {
@@ -218,7 +229,7 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   }
 
   txn_manager_.ResetAfterRecovery(max_cts);
-  crashed_ = false;
+  crashed_.store(false, std::memory_order_release);
   return result;
 }
 

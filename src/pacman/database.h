@@ -17,7 +17,9 @@
 #ifndef PACMAN_PACMAN_DATABASE_H_
 #define PACMAN_PACMAN_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "analysis/chopping.h"
@@ -28,6 +30,7 @@
 #include "logging/log_manager.h"
 #include "proc/interpreter.h"
 #include "proc/registry.h"
+#include "pacman/workload_driver.h"
 #include "recovery/recovery.h"
 #include "storage/catalog.h"
 #include "txn/epoch_manager.h"
@@ -85,17 +88,44 @@ class Database {
   analysis::GlobalDependencyGraph BuildChoppingGdg() const;
 
   // --- Forward processing -----------------------------------------------
-  // Executes one stored-procedure transaction (with OCC retry). `adhoc`
-  // tags it as an ad-hoc request: under command logging its write set is
-  // persisted logically instead of (proc, params) (§4.5).
+  // Per-call execution knobs for Execute.
+  struct ExecOptions {
+    bool adhoc = false;
+    int max_retries = 100;
+    // Routes the commit record through this worker's log buffer (§4.5).
+    WorkerId worker_id = kInvalidWorkerId;
+  };
+  struct ExecStats {
+    int attempts = 0;  // 1 = committed first try; >1 = OCC retries.
+  };
+
+  // Executes one stored-procedure transaction (with OCC retry). Safe to
+  // call from many worker threads concurrently. `adhoc` tags it as an
+  // ad-hoc request: under command logging its write set is persisted
+  // logically instead of (proc, params) (§4.5).
   Status ExecuteProcedure(ProcId proc, const std::vector<Value>& params,
-                          bool adhoc = false, int max_retries = 100);
+                          bool adhoc = false, int max_retries = 100) {
+    return Execute(proc, params, {adhoc, max_retries, kInvalidWorkerId});
+  }
+  Status Execute(ProcId proc, const std::vector<Value>& params,
+                 const ExecOptions& opts, ExecStats* stats = nullptr);
+
+  // Runs `opts.num_txns` transactions drawn from `gen` concurrently on
+  // `opts.num_workers` worker threads of the shared execution layer, with
+  // OCC retry, thread-safe epoch advancement and group commit. See
+  // pacman/workload_driver.h.
+  DriverResult RunWorkers(const TxnGenerator& gen, const DriverOptions& opts);
 
   // Advances the group-commit epoch and flushes all loggers; returns the
-  // flush cost (virtual seconds / bytes).
+  // flush cost (virtual seconds / bytes). Serialized internally; safe to
+  // call while workers commit.
   logging::FlushCost AdvanceEpoch();
-  uint64_t commits() const { return num_commits_; }
-  double total_flush_seconds() const { return total_flush_seconds_; }
+  uint64_t commits() const {
+    return num_commits_.load(std::memory_order_relaxed);
+  }
+  double total_flush_seconds() const {
+    return total_flush_seconds_.load(std::memory_order_relaxed);
+  }
 
   // --- Durability --------------------------------------------------------
   logging::CheckpointMeta TakeCheckpoint();
@@ -104,7 +134,7 @@ class Database {
   // drops all in-memory table state. The catalog schemas, registry and
   // static analysis survive (they are compile-time artifacts).
   void Crash();
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   // --- Recovery -----------------------------------------------------------
   // Full recovery: checkpoint restore then log replay under `scheme`.
@@ -133,10 +163,11 @@ class Database {
   analysis::GlobalDependencyGraph gdg_;
   bool schema_finalized_ = false;
 
-  uint64_t num_commits_ = 0;
+  std::atomic<uint64_t> num_commits_{0};
   uint64_t next_ckpt_id_ = 0;
-  double total_flush_seconds_ = 0.0;
-  bool crashed_ = false;
+  std::atomic<double> total_flush_seconds_{0.0};
+  std::atomic<bool> crashed_{false};
+  std::mutex epoch_mu_;  // Serializes AdvanceEpoch across workers.
 };
 
 }  // namespace pacman

@@ -1,8 +1,11 @@
 #include "recovery/clr_p.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -204,7 +207,7 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
     for (BlockId k = 0; k < num_blocks; ++k) {
       const uint32_t cores =
           mode == PacmanMode::kStaticOnly ? 1u : layout.block_cores[k];
-      auto computed = std::make_shared<double>(-1.0);
+      auto computed = std::make_shared<std::atomic<double>>(-1.0);
       auto run_piece_set = [bstate, k, cores, mode, catalog,
                             counters, cm, total_threads,
                             table_block, piece_ops]() -> double {
@@ -335,13 +338,28 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
             graph->AddTask(0.0, nullptr, layout.cpu_group, batch.seq);
         if (c == 0) {
           graph->task(w).dynamic_work = [computed, run_piece_set]() {
-            *computed = run_piece_set();
-            return *computed;
+            const double makespan = run_piece_set();
+            computed->store(makespan, std::memory_order_release);
+            return makespan;
           };
         } else {
           graph->task(w).dynamic_work = [computed]() {
-            PACMAN_CHECK(*computed >= 0.0);  // First worker ran already.
-            return *computed;
+            // The simulated machine dispatches the first worker before its
+            // siblings (FIFO by id within the group), so this never loops
+            // there; the real-thread backend may run siblings concurrently
+            // with the replay, so wait for the computed makespan. The wait
+            // is bounded: on the sequential simulated backend a dispatch-
+            // order regression could never satisfy it, and we want that to
+            // fail fast instead of livelocking.
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(60);
+            double makespan;
+            while ((makespan = computed->load(std::memory_order_acquire)) <
+                   0.0) {
+              PACMAN_CHECK(std::chrono::steady_clock::now() < deadline);
+              std::this_thread::yield();
+            }
+            return makespan;
           };
         }
         graph->AddEdge(deser, w);

@@ -1,82 +1,13 @@
 #include "recovery/executor.h"
 
-#include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <tuple>
-#include <vector>
-
 #include "common/macros.h"
+#include "exec/task_graph_runner.h"
 
 namespace pacman::recovery {
 
-namespace {
-
-struct ReadyEntry {
-  uint64_t priority;
-  sim::TaskId id;
-  bool operator>(const ReadyEntry& o) const {
-    return std::tie(priority, id) > std::tie(o.priority, o.id);
-  }
-};
-
-}  // namespace
-
 double RunOnThreads(sim::TaskGraph* graph, uint32_t num_threads) {
   PACMAN_CHECK(num_threads >= 1);
-  const size_t n = graph->NumTasks();
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
-                      std::greater<ReadyEntry>>
-      ready;
-  std::vector<uint32_t> deps_left(n);
-  size_t completed = 0;
-
-  for (sim::TaskId i = 0; i < n; ++i) {
-    deps_left[i] = graph->task(i).num_deps;
-    if (deps_left[i] == 0) ready.push({graph->task(i).priority, i});
-  }
-
-  auto start = std::chrono::steady_clock::now();
-  auto worker = [&]() {
-    std::unique_lock<std::mutex> lock(mu);
-    while (true) {
-      cv.wait(lock, [&] { return !ready.empty() || completed == n; });
-      if (completed == n && ready.empty()) return;
-      if (ready.empty()) continue;
-      sim::TaskId id = ready.top().id;
-      ready.pop();
-      lock.unlock();
-
-      sim::Task& t = graph->task(id);
-      if (t.dynamic_work) {
-        t.dynamic_work();
-      } else if (t.work) {
-        t.work();
-      }
-
-      lock.lock();
-      completed++;
-      for (sim::TaskId dep : t.dependents) {
-        if (--deps_left[dep] == 0) {
-          ready.push({graph->task(dep).priority, dep});
-        }
-      }
-      cv.notify_all();
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (uint32_t i = 0; i < num_threads; ++i) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
-  PACMAN_CHECK(completed == n);
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(end - start).count();
+  return exec::RunTaskGraph(graph, num_threads);
 }
 
 }  // namespace pacman::recovery

@@ -4,9 +4,10 @@
 // The library API recovers databases on actual std::threads; the benchmark
 // harnesses run the *same* task graphs on the simulated machine
 // (sim::Machine) to obtain multicore virtual-time results on this
-// single-core host. Both respect the graph's dependency edges; the thread
-// pool executor maps all groups onto one shared pool (group capacities are
-// a performance-model concern, not a correctness one).
+// single-core host. This is now a thin adapter over the shared execution
+// layer (exec::RunTaskGraph / exec::ThreadPool), which forward processing
+// uses as well; it is kept so recovery callers need not depend on exec
+// directly.
 #ifndef PACMAN_RECOVERY_EXECUTOR_H_
 #define PACMAN_RECOVERY_EXECUTOR_H_
 

@@ -75,6 +75,13 @@ class Transaction {
   const std::vector<Value>* params() const { return params_; }
   bool is_adhoc() const { return is_adhoc_; }
 
+  // The forward-processing worker driving this transaction. The logging
+  // subsystem routes the commit record to that worker's local log buffer
+  // (§4.5 per-core logging); kInvalidWorkerId falls back to the shared
+  // logger path.
+  void set_worker_id(WorkerId id) { worker_id_ = id; }
+  WorkerId worker_id() const { return worker_id_; }
+
  private:
   friend class TransactionManager;
   Timestamp read_ts_ = kInvalidTimestamp;
@@ -83,6 +90,7 @@ class Transaction {
   ProcId proc_id_ = kAdhocProcId;
   const std::vector<Value>* params_ = nullptr;
   bool is_adhoc_ = true;
+  WorkerId worker_id_ = kInvalidWorkerId;
 };
 
 // Result of a successful commit.

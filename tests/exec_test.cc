@@ -1,0 +1,120 @@
+// Tests for the shared execution layer: thread pool semantics, worker-id
+// tagging, quiescence, and task-graph execution on a reused pool.
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "exec/task_graph_runner.h"
+#include "exec/worker_context.h"
+#include "sim/task_graph.h"
+
+namespace pacman::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WorkersCarryDenseIds) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<WorkerId> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      WorkerId id = CurrentWorkerId();
+      std::lock_guard<std::mutex> g(mu);
+      seen.insert(id);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GE(seen.size(), 1u);
+  for (WorkerId id : seen) EXPECT_LT(id, 4u);
+  // Off-pool threads are untagged.
+  EXPECT_EQ(CurrentWorkerId(), kInvalidWorkerId);
+}
+
+TEST(ThreadPoolTest, WorkerScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentWorkerId(), kInvalidWorkerId);
+  {
+    WorkerScope outer(3);
+    EXPECT_EQ(CurrentWorkerId(), 3u);
+    {
+      WorkerScope inner(7);
+      EXPECT_EQ(CurrentWorkerId(), 7u);
+    }
+    EXPECT_EQ(CurrentWorkerId(), 3u);
+  }
+  EXPECT_EQ(CurrentWorkerId(), kInvalidWorkerId);
+}
+
+TEST(ThreadPoolTest, JobsMaySubmitJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(TaskGraphRunnerTest, PoolIsReusableAcrossGraphs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    sim::TaskGraph g;
+    std::atomic<int> count{0};
+    sim::TaskId prev = g.AddTask(0.0, [&] { count.fetch_add(1); });
+    for (int i = 1; i < 50; ++i) {
+      sim::TaskId t = g.AddTask(0.0, [&] { count.fetch_add(1); });
+      if (i % 2 == 0) g.AddEdge(prev, t);
+      prev = t;
+    }
+    double seconds = RunTaskGraph(&g, &pool);
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(TaskGraphRunnerTest, EmptyGraphCompletes) {
+  sim::TaskGraph g;
+  EXPECT_GE(RunTaskGraph(&g, 2), 0.0);
+}
+
+TEST(TaskGraphRunnerTest, GraphTasksRunOnTaggedWorkers) {
+  ThreadPool pool(3);
+  sim::TaskGraph g;
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 100; ++i) {
+    g.AddTask(0.0, [&] {
+      WorkerId id = CurrentWorkerId();
+      if (id >= 3) bad.fetch_add(1);
+    });
+  }
+  RunTaskGraph(&g, &pool);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace pacman::exec
