@@ -42,7 +42,7 @@ void Run(Scheme scheme, logging::LogScheme format, const char* fig,
 
 int main(int argc, char** argv) {
   using namespace pacman::bench;
-  const uint32_t threads = pacman::ThreadsFlag(argc, argv);
+  const uint32_t threads = pacman::ParseCommonFlags(argc, argv).threads;
   PrintTitle("Fig. 15 - Latching bottleneck in tuple-level log recovery");
   Run(pacman::recovery::Scheme::kPlr, pacman::logging::LogScheme::kPhysical,
       "a", threads);

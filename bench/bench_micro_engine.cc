@@ -121,9 +121,7 @@ void BM_ForwardProcessingBank(benchmark::State& state) {
     Database db(opts);
     workload::Bank bank({.num_users = 20000, .num_nations = 16,
                          .single_fraction = 0.0});
-    bank.CreateTables(db.catalog());
-    bank.RegisterProcedures(db.registry());
-    bank.Load(db.catalog());
+    bank.Install(&db);
     db.FinalizeSchema();
     db.TakeCheckpoint();
     state.ResumeTiming();

@@ -56,9 +56,7 @@ inline Env MakeTpccEnv(logging::LogScheme scheme,
   env.name = "TPC-C";
   env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
   auto tpcc = std::make_shared<workload::Tpcc>(config);
-  tpcc->CreateTables(env.db->catalog());
-  tpcc->RegisterProcedures(env.db->registry());
-  tpcc->Load(env.db->catalog());
+  tpcc->Install(env.db.get());
   env.db->FinalizeSchema();
   env.next_txn = [tpcc](Rng* rng, std::vector<Value>* params) {
     return tpcc->NextTransaction(rng, params);
@@ -72,9 +70,7 @@ inline Env MakeSmallbankEnv(logging::LogScheme scheme) {
   env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
   auto sb = std::make_shared<workload::Smallbank>(workload::SmallbankConfig{
       .num_accounts = 20000, .hotspot_fraction = 0.1, .hotspot_size = 100});
-  sb->CreateTables(env.db->catalog());
-  sb->RegisterProcedures(env.db->registry());
-  sb->Load(env.db->catalog());
+  sb->Install(env.db.get());
   env.db->FinalizeSchema();
   env.next_txn = [sb](Rng* rng, std::vector<Value>* params) {
     return sb->NextTransaction(rng, params);
@@ -82,8 +78,9 @@ inline Env MakeSmallbankEnv(logging::LogScheme scheme) {
   return env;
 }
 
-// The `--threads N` dimension is parsed with pacman::ThreadsFlag
-// (common/flags.h), shared with the examples.
+// The `--threads N` / `--txns N` / `--seed N` / `--adhoc F` dimensions are
+// parsed with pacman::ParseCommonFlags (common/flags.h), shared with the
+// examples.
 
 // Runs `n` transactions on `threads` forward-processing workers (after
 // taking the baseline checkpoint) and returns the driver result. The
@@ -103,17 +100,20 @@ inline DriverResult RunWorkloadThreaded(Env* env, int n, uint32_t threads,
 }
 
 // Runs `n` transactions (optionally tagging an ad-hoc fraction) after
-// taking the baseline checkpoint. Returns the pre-crash content hash.
+// taking the baseline checkpoint, through a single client session.
+// Returns the pre-crash content hash.
 inline uint64_t RunWorkload(Env* env, int n, double adhoc_fraction = 0.0,
                             uint64_t seed = 42) {
   env->db->TakeCheckpoint();
+  auto session = env->db->OpenSession();
   Rng rng(seed);
   std::vector<Value> params;
   for (int i = 0; i < n; ++i) {
     ProcId proc = env->next_txn(&rng, &params);
-    bool adhoc = workload::TagAdhoc(&rng, adhoc_fraction);
-    Status s = env->db->ExecuteProcedure(proc, params, adhoc);
-    PACMAN_CHECK(s.ok());
+    TxnOptions topts;
+    topts.adhoc = workload::TagAdhoc(&rng, adhoc_fraction);
+    TxnResult r = session->Call(env->db->proc(proc), params, topts);
+    PACMAN_CHECK(r.ok());
   }
   return env->db->ContentHash();
 }
@@ -157,7 +157,7 @@ inline double MeasureBytesPerTxn(Env* env, int n, double adhoc_fraction = 0.0,
     RunWorkload(env, n, adhoc_fraction, seed);
   }
   env->db->AdvanceEpoch();
-  return static_cast<double>(env->db->log_manager()->total_bytes()) / n;
+  return static_cast<double>(env->db->log_bytes()) / n;
 }
 
 // The thread counts the paper sweeps (x-axes of Figs. 13-15, 19).

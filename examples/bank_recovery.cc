@@ -28,7 +28,11 @@ logging::LogScheme FormatFor(recovery::Scheme s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const uint32_t threads = ThreadsFlag(argc, argv);
+  CommonFlags defaults;
+  defaults.txns = 10000;
+  defaults.seed = 7;
+  const CommonFlags flags = ParseCommonFlags(argc, argv, defaults);
+  const uint32_t threads = flags.threads;
   std::printf("%-8s %12s %16s %12s %12s %14s\n", "scheme", "log MB",
               "fwd txn/s/wkr", "ckpt(s)", "replay(s)", "latches");
   for (recovery::Scheme scheme :
@@ -40,23 +44,21 @@ int main(int argc, char** argv) {
     Database db(options);
     workload::Bank bank({.num_users = 5000, .num_nations = 16,
                          .single_fraction = 0.1});
-    bank.CreateTables(db.catalog());
-    bank.RegisterProcedures(db.registry());
-    bank.Load(db.catalog());
+    bank.Install(&db);
     db.FinalizeSchema();
     db.TakeCheckpoint();
 
     DriverOptions dopts;
     dopts.num_workers = threads;
-    dopts.num_txns = 10000;
-    dopts.seed = 7;
+    dopts.num_txns = flags.txns;
+    dopts.seed = flags.seed;
     DriverResult run = db.RunWorkers(
         [&bank](Rng* rng, std::vector<Value>* params) {
           return bank.NextTransaction(rng, params);
         },
         dopts);
     if (run.failed != 0) return 1;
-    const double log_mb = db.log_manager()->total_bytes() / 1e6;
+    const double log_mb = db.log_bytes() / 1e6;
     const uint64_t before = db.ContentHash();
     db.Crash();
 

@@ -12,7 +12,11 @@
 using namespace pacman;  // NOLINT: example brevity.
 
 int main(int argc, char** argv) {
-  const uint32_t threads = ThreadsFlag(argc, argv);
+  CommonFlags defaults;
+  defaults.txns = 10000;
+  defaults.seed = 11;
+  const CommonFlags flags = ParseCommonFlags(argc, argv, defaults);
+  const uint32_t threads = flags.threads;
   DatabaseOptions options;
   options.scheme = logging::LogScheme::kCommand;
   Database db(options);
@@ -22,9 +26,7 @@ int main(int argc, char** argv) {
                        .customers_per_district = 100,
                        .num_items = 500,
                        .orders_per_district = 16});
-  tpcc.CreateTables(db.catalog());
-  tpcc.RegisterProcedures(db.registry());
-  tpcc.Load(db.catalog());
+  tpcc.Install(&db);
   db.FinalizeSchema();
 
   std::printf("TPC-C global dependency graph (%zu blocks):\n",
@@ -32,8 +34,8 @@ int main(int argc, char** argv) {
   for (const analysis::Block& b : db.gdg().blocks) {
     std::printf("  block %u:", b.id);
     for (const analysis::GlobalSliceRef& ref : b.member_slices) {
-      std::printf(" %s/S%u",
-                  db.registry()->Get(ref.proc).name.c_str(), ref.slice);
+      std::printf(" %s/S%u", db.procedure_name(ref.proc).c_str(),
+                  ref.slice);
     }
     if (!b.deps.empty()) {
       std::printf("   <- depends on");
@@ -45,8 +47,8 @@ int main(int argc, char** argv) {
   db.TakeCheckpoint();
   DriverOptions dopts;
   dopts.num_workers = threads;
-  dopts.num_txns = 10000;
-  dopts.seed = 11;
+  dopts.num_txns = flags.txns;
+  dopts.seed = flags.seed;
   DriverResult run = db.RunWorkers(
       [&tpcc](Rng* rng, std::vector<Value>* params) {
         return tpcc.NextTransaction(rng, params);

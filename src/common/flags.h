@@ -1,6 +1,15 @@
 // Copyright (c) 2026 The PACMAN reproduction authors.
-// Tiny shared command-line flag helpers for the example and benchmark
-// binaries (the library itself takes no flags).
+// Tiny shared command-line parser for the example and benchmark binaries
+// (the library itself takes no flags). One parser instead of per-binary
+// strtol loops, so every binary accepts the same dimension flags:
+//
+//   --threads N   forward-processing worker count (>= 1)
+//   --txns N      transaction count (>= 1)
+//   --seed N      workload RNG seed
+//   --adhoc F     fraction of transactions tagged ad-hoc, in [0, 1]
+//
+// Binaries pass their own defaults; absent flags keep them. Malformed
+// values and unknown --flags exit with a usage message on stderr.
 #ifndef PACMAN_COMMON_FLAGS_H_
 #define PACMAN_COMMON_FLAGS_H_
 
@@ -11,23 +20,87 @@
 
 namespace pacman {
 
-// Parses a `--threads N` flag — the forward-processing worker-count
-// dimension of benches and examples. Returns `def` when the flag is
-// absent; exits with a usage message on a malformed or non-positive value.
-inline uint32_t ThreadsFlag(int argc, char** argv, uint32_t def = 1) {
+struct CommonFlags {
+  uint32_t threads = 1;
+  uint64_t txns = 0;  // 0 = "use the binary's default".
+  uint64_t seed = 42;
+  double adhoc = 0.0;
+};
+
+namespace flags_internal {
+
+[[noreturn]] inline void Usage(const char* flag, const char* want,
+                               const char* got) {
+  std::fprintf(stderr, "error: %s requires %s, got %s\n", flag, want,
+               got != nullptr ? got : "(nothing)");
+  std::fprintf(stderr,
+               "supported flags: --threads N  --txns N  --seed N  "
+               "--adhoc F\n");
+  std::exit(2);
+}
+
+inline uint64_t ParseU64(const char* flag, const char* text,
+                         uint64_t min_value) {
+  // strtoull silently wraps negative input ("-1" -> 2^64-1), so reject a
+  // leading sign outright.
+  if (text == nullptr || text[0] == '-' || text[0] == '+') {
+    Usage(flag, min_value > 0 ? "a positive integer" : "an unsigned integer",
+          text);
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v < min_value) {
+    Usage(flag, min_value > 0 ? "a positive integer" : "an unsigned integer",
+          text);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+inline double ParseFraction(const char* flag, const char* text) {
+  char* end = nullptr;
+  double v = text != nullptr ? std::strtod(text, &end) : -1.0;
+  if (text == nullptr || end == text || *end != '\0' || v < 0.0 || v > 1.0) {
+    Usage(flag, "a fraction in [0, 1]", text);
+  }
+  return v;
+}
+
+}  // namespace flags_internal
+
+// Parses the shared flags, starting from `defaults`. Unknown "--" flags are
+// rejected so a typo cannot silently fall back to a default dimension.
+inline CommonFlags ParseCommonFlags(int argc, char** argv,
+                                    CommonFlags defaults = CommonFlags{}) {
+  CommonFlags flags = defaults;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") != 0) continue;
-    char* end = nullptr;
-    long v = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
-    if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || v < 1) {
+    const char* arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--threads") == 0) {
+      const uint64_t v = flags_internal::ParseU64(arg, next, /*min_value=*/1);
+      if (v > 0xffffffffull) {
+        flags_internal::Usage(arg, "a worker count that fits in 32 bits",
+                              next);
+      }
+      flags.threads = static_cast<uint32_t>(v);
+      ++i;
+    } else if (std::strcmp(arg, "--txns") == 0) {
+      flags.txns = flags_internal::ParseU64(arg, next, /*min_value=*/1);
+      ++i;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      flags.seed = flags_internal::ParseU64(arg, next, /*min_value=*/0);
+      ++i;
+    } else if (std::strcmp(arg, "--adhoc") == 0) {
+      flags.adhoc = flags_internal::ParseFraction(arg, next);
+      ++i;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg);
       std::fprintf(stderr,
-                   "error: --threads requires a positive integer, got %s\n",
-                   i + 1 < argc ? argv[i + 1] : "(nothing)");
+                   "supported flags: --threads N  --txns N  --seed N  "
+                   "--adhoc F\n");
       std::exit(2);
     }
-    return static_cast<uint32_t>(v);
   }
-  return def;
+  return flags;
 }
 
 }  // namespace pacman

@@ -29,6 +29,18 @@
     }                                                                    \
   } while (0)
 
+// PACMAN_CHECK with an explanation for the operator: used to validate
+// configuration (DatabaseOptions, DriverOptions) at the API boundary, where
+// the bare condition text would not tell the caller what to fix.
+#define PACMAN_CHECK_MSG(condition, msg)                                 \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "PACMAN_CHECK failed at %s:%d: %s — %s\n",    \
+                   __FILE__, __LINE__, #condition, msg);                 \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
 // Debug-only assertion for hot paths.
 #define PACMAN_DCHECK(condition) assert(condition)
 

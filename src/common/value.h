@@ -18,6 +18,21 @@ enum class ValueType : uint8_t {
   kString = 3,
 };
 
+// Human-readable type name (procedure signature error messages).
+inline const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
 // A dynamically typed column value. Kept deliberately small: the engine's
 // benchmarks (TPC-C, Smallbank) only need integers, doubles and strings.
 class Value {

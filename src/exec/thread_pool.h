@@ -28,7 +28,8 @@ class ThreadPool {
   ~ThreadPool();
   PACMAN_DISALLOW_COPY_AND_MOVE(ThreadPool);
 
-  // Enqueues one job. Thread-safe; jobs may submit further jobs.
+  // Enqueues one job. Thread-safe; jobs may submit further jobs while the
+  // pool is running (Submit aborts once destruction has begun draining).
   void Submit(std::function<void()> fn);
 
   // Blocks until the queue is empty and every worker is idle.

@@ -75,6 +75,12 @@ LogManager::LogManager(LogScheme scheme,
   }
 }
 
+LogManager::~LogManager() {
+  for (std::atomic<WorkerBuffer*>& chunk : buffer_chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
 LogRecord MakeRecord(LogScheme scheme, const txn::Transaction& txn,
                      const txn::CommitInfo& info) {
   LogRecord r;
@@ -109,12 +115,13 @@ void LogManager::OnCommit(const txn::Transaction& txn,
   if (txn.write_set().empty()) return;
   LogRecord record = MakeRecord(scheme_, txn, info);
   const WorkerId worker = txn.worker_id();
-  if (worker != kInvalidWorkerId && worker < worker_buffers_.size()) {
+  WorkerBuffer* buf =
+      worker != kInvalidWorkerId ? worker_buffer(worker) : nullptr;
+  if (buf != nullptr) {
     // Per-worker staging (§4.5): no shared-logger contention on the
     // commit path; DrainWorkerBuffers restores global commit order.
-    WorkerBuffer& buf = worker_buffers_[worker];
-    SpinLatchGuard g(buf.latch);
-    buf.records.push_back(std::move(record));
+    SpinLatchGuard g(buf->latch);
+    buf->records.push_back(std::move(record));
     return;
   }
   // Route by commit order; preserves global order recoverability since
@@ -122,10 +129,35 @@ void LogManager::OnCommit(const txn::Transaction& txn,
   RouteToLogger(std::move(record));
 }
 
+LogManager::WorkerBuffer* LogManager::worker_buffer(WorkerId w) {
+  if (w >= num_worker_buffers_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  WorkerBuffer* chunk =
+      buffer_chunks_[w / kWorkerBufferChunkSize].load(
+          std::memory_order_acquire);
+  return chunk == nullptr ? nullptr : &chunk[w % kWorkerBufferChunkSize];
+}
+
 void LogManager::EnsureWorkerBuffers(uint32_t num_workers) {
   if (scheme_ == LogScheme::kOff) return;
-  std::lock_guard<std::mutex> g(flush_mu_);
-  while (worker_buffers_.size() < num_workers) worker_buffers_.emplace_back();
+  PACMAN_CHECK_MSG(
+      num_workers <= kWorkerBufferChunkSize * kMaxWorkerBufferChunks,
+      "too many worker log-buffer slots (sessions + executor workers)");
+  std::lock_guard<std::mutex> g(grow_mu_);
+  if (num_workers <= num_worker_buffers_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const uint32_t chunks_needed =
+      (num_workers + kWorkerBufferChunkSize - 1) / kWorkerBufferChunkSize;
+  for (uint32_t c = 0; c < chunks_needed; ++c) {
+    if (buffer_chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+      buffer_chunks_[c].store(new WorkerBuffer[kWorkerBufferChunkSize],
+                              std::memory_order_release);
+    }
+  }
+  // Publish the count last: a committer that sees it also sees the chunks.
+  num_worker_buffers_.store(num_workers, std::memory_order_release);
 }
 
 void LogManager::RouteToLogger(LogRecord record) {
@@ -142,15 +174,19 @@ void LogManager::DrainWorkerBuffers() {
   // too — no lower-ts record can slip into a *later* batch file than a
   // higher-ts one. Latch order is buffer index; committers hold at most
   // one buffer latch, so there is no ordering cycle.
+  std::vector<WorkerBuffer*> buffers;
+  const uint32_t n = num_worker_buffers_.load(std::memory_order_acquire);
+  buffers.reserve(n);
+  for (WorkerId w = 0; w < n; ++w) buffers.push_back(worker_buffer(w));
   std::vector<LogRecord> staged;
-  for (WorkerBuffer& buf : worker_buffers_) buf.latch.Lock();
-  for (WorkerBuffer& buf : worker_buffers_) {
+  for (WorkerBuffer* buf : buffers) buf->latch.Lock();
+  for (WorkerBuffer* buf : buffers) {
     staged.insert(staged.end(),
-                  std::make_move_iterator(buf.records.begin()),
-                  std::make_move_iterator(buf.records.end()));
-    buf.records.clear();
+                  std::make_move_iterator(buf->records.begin()),
+                  std::make_move_iterator(buf->records.end()));
+    buf->records.clear();
   }
-  for (WorkerBuffer& buf : worker_buffers_) buf.latch.Unlock();
+  for (WorkerBuffer* buf : buffers) buf->latch.Unlock();
   // Merge back into the global commit order before handing the records to
   // the loggers, so batch files stay ascending in commit_ts exactly like
   // the single-threaded path.

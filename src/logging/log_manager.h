@@ -22,7 +22,8 @@
 #ifndef PACMAN_LOGGING_LOG_MANAGER_H_
 #define PACMAN_LOGGING_LOG_MANAGER_H_
 
-#include <deque>
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -88,6 +89,7 @@ class LogManager {
   LogManager(LogScheme scheme, std::vector<device::SimulatedSsd*> ssds,
              uint32_t num_loggers, uint32_t epochs_per_batch,
              txn::EpochManager* epochs);
+  ~LogManager();
   PACMAN_DISALLOW_COPY_AND_MOVE(LogManager);
 
   // Commit hook body: builds the record for `txn` and routes it to the
@@ -97,9 +99,13 @@ class LogManager {
   void OnCommit(const txn::Transaction& txn, const txn::CommitInfo& info);
 
   // Grows the per-worker staging buffer set to at least `num_workers`
-  // buffers (never shrinks). Must not race with in-flight commits.
+  // buffers (never shrinks). Safe to call while other workers commit:
+  // buffers live in lazily allocated fixed-size chunks published through
+  // atomic pointers, so readers never observe a reallocation.
   void EnsureWorkerBuffers(uint32_t num_workers);
-  size_t num_worker_buffers() const { return worker_buffers_.size(); }
+  size_t num_worker_buffers() const {
+    return num_worker_buffers_.load(std::memory_order_acquire);
+  }
 
   // Flushes all loggers for the epoch that just ended and advances pepoch:
   // drains the worker staging buffers into the loggers (in commit-ts
@@ -118,6 +124,12 @@ class LogManager {
   size_t num_loggers() const { return loggers_.size(); }
   const std::vector<device::SimulatedSsd*>& ssds() const { return ssds_; }
 
+  // Upper bound on worker log-buffer slots (sessions + executor workers
+  // over a database's lifetime): kMaxWorkerBufferChunks chunks of
+  // kWorkerBufferChunkSize buffers each.
+  static constexpr uint32_t kWorkerBufferChunkSize = 64;
+  static constexpr uint32_t kMaxWorkerBufferChunks = 64;
+
  private:
   // One worker's local log staging area. The latch is effectively
   // uncontended: only the owning worker appends, and only the flusher
@@ -126,6 +138,10 @@ class LogManager {
     SpinLatch latch;
     std::vector<LogRecord> records;
   };
+
+  // The staging buffer of worker `w`, or nullptr when no buffer has been
+  // registered for it. Lock-free; safe concurrently with growth.
+  WorkerBuffer* worker_buffer(WorkerId w);
 
   // Moves every staged worker record into the loggers in commit-ts order.
   // Called with flush_mu_ held.
@@ -137,9 +153,14 @@ class LogManager {
   txn::EpochManager* epochs_;
   std::vector<std::unique_ptr<Logger>> loggers_;
 
-  // Deque: WorkerBuffer holds a latch and must stay pointer-stable while
-  // EnsureWorkerBuffers grows the set between runs.
-  std::deque<WorkerBuffer> worker_buffers_;
+  // Worker staging buffers in chunked storage: committers index it with
+  // plain loads while EnsureWorkerBuffers publishes new chunks, so a
+  // session can be opened while transactions are in flight. Chunks are
+  // allocated under grow_mu_ and freed in the destructor.
+  std::array<std::atomic<WorkerBuffer*>, kMaxWorkerBufferChunks>
+      buffer_chunks_{};
+  std::atomic<uint32_t> num_worker_buffers_{0};
+  std::mutex grow_mu_;   // Serializes EnsureWorkerBuffers.
   std::mutex flush_mu_;  // Serializes FlushAll / FinalizeAll.
 };
 

@@ -16,7 +16,16 @@ Database::Database(DatabaseOptions options)
       registry_(&catalog_),
       epochs_(options.num_loggers),
       txn_manager_(&epochs_) {
-  PACMAN_CHECK(options_.num_ssds >= 1);
+  // Validate the configuration up front: a bad option should fail here,
+  // with a name, not deep inside the logging pipeline.
+  PACMAN_CHECK_MSG(options_.num_ssds >= 1,
+                   "DatabaseOptions::num_ssds must be >= 1");
+  PACMAN_CHECK_MSG(options_.num_loggers >= 1,
+                   "DatabaseOptions::num_loggers must be >= 1");
+  PACMAN_CHECK_MSG(options_.epochs_per_batch >= 1,
+                   "DatabaseOptions::epochs_per_batch must be >= 1");
+  PACMAN_CHECK_MSG(options_.ckpt_files_per_ssd >= 1,
+                   "DatabaseOptions::ckpt_files_per_ssd must be >= 1");
   for (uint32_t d = 0; d < options_.num_ssds; ++d) {
     ssds_.push_back(
         std::make_unique<device::SimulatedSsd>(options_.ssd_config));
@@ -33,6 +42,56 @@ Database::Database(DatabaseOptions options)
 }
 
 Database::~Database() = default;
+
+std::unique_ptr<Session> Database::OpenSession() {
+  // Cannot use make_unique: the constructor is private to Database.
+  return std::unique_ptr<Session>(new Session(this, AllocateWorkerSlot()));
+}
+
+ProcHandle Database::proc(const std::string& name) const {
+  const proc::ProcedureDef* def = registry_.Find(name);
+  return def == nullptr ? ProcHandle{} : ProcHandle(this, def->id);
+}
+
+ProcHandle Database::proc(ProcId id) const {
+  PACMAN_CHECK_MSG(id < registry_.size(), "unknown procedure id");
+  return ProcHandle(this, id);
+}
+
+ProcHandle Database::Register(proc::ProcedureDef def) {
+  return ProcHandle(this, registry_.Register(std::move(def)));
+}
+
+void Database::StartWorkers(uint32_t num_workers, size_t queue_capacity) {
+  PACMAN_CHECK_MSG(service_ == nullptr,
+                   "executor workers are already running");
+  PACMAN_CHECK(!crashed());
+  service_ =
+      std::make_unique<TxnService>(this, num_workers, queue_capacity);
+}
+
+void Database::StopWorkers() {
+  PACMAN_CHECK_MSG(service_ != nullptr, "executor workers are not running");
+  service_.reset();  // ~TxnService drains, fulfills futures, joins.
+}
+
+WorkerId Database::AllocateWorkerSlot() {
+  std::lock_guard<std::mutex> g(slot_mu_);
+  if (!free_worker_slots_.empty()) {
+    const WorkerId slot = free_worker_slots_.back();
+    free_worker_slots_.pop_back();
+    return slot;
+  }
+  const WorkerId slot = next_worker_slot_++;
+  log_manager_->EnsureWorkerBuffers(slot + 1);
+  return slot;
+}
+
+void Database::ReleaseWorkerSlot(WorkerId slot) {
+  std::lock_guard<std::mutex> g(slot_mu_);
+  PACMAN_DCHECK(slot < next_worker_slot_);
+  free_worker_slots_.push_back(slot);
+}
 
 std::vector<device::SimulatedSsd*> Database::ssd_ptrs() {
   std::vector<device::SimulatedSsd*> out;
@@ -56,34 +115,45 @@ analysis::GlobalDependencyGraph Database::BuildChoppingGdg() const {
   return analysis::BuildGlobalGraph(chopped, registry_.procedures());
 }
 
-Status Database::Execute(ProcId proc, const std::vector<Value>& params,
-                         const ExecOptions& opts, ExecStats* stats) {
+TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
+                            const ExecOptions& opts) {
   PACMAN_CHECK(!crashed());
+  PACMAN_CHECK_MSG(proc < registry_.size(), "unknown procedure id");
   const proc::ProcedureDef& def = registry_.Get(proc);
-  Status last = Status::Internal("not attempted");
+  TxnResult result;
+  result.status = Status::Internal("not attempted");
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
-    if (stats != nullptr) stats->attempts++;
+    result.attempts++;
     txn::Transaction t = txn_manager_.Begin();
     proc::TxnAccess access(&catalog_, &t);
     proc::ProcState state(&def, params);
     Status s = proc::ExecuteAll(&state, &access);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      result.status = s;
+      return result;
+    }
     t.SetLogContext(proc, &params, opts.adhoc);
     t.set_worker_id(opts.worker_id);
     txn::CommitInfo info;
     s = txn_manager_.Commit(&t, &info);
     if (s.ok()) {
+      result.status = s;
+      result.commit_ts = info.commit_ts;
+      // The Emit() outputs of the committed attempt: evaluated from the
+      // attempt's validated snapshot reads, so they are exactly the values
+      // the committed serial order produced.
+      if (!def.results.empty()) result.values = proc::EvalResults(state);
       const uint64_t commits =
           num_commits_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.commits_per_epoch != 0 &&
           commits % options_.commits_per_epoch == 0) {
         AdvanceEpoch();
       }
-      return s;
+      return result;
     }
-    last = s;
+    result.status = s;
   }
-  return last;
+  return result;
 }
 
 DriverResult Database::RunWorkers(const TxnGenerator& gen,
@@ -109,6 +179,13 @@ logging::CheckpointMeta Database::TakeCheckpoint() {
 
 void Database::Crash() {
   PACMAN_CHECK(!crashed());
+  // An active executor pool is drained and stopped first: every accepted
+  // submission commits (and resolves its future) before the crash point,
+  // so clients never hold futures into a lost epoch.
+  if (service_ != nullptr) {
+    service_->Drain();
+    service_.reset();
+  }
   // Close the log streams at the crash boundary: everything the loggers
   // received is durable (group commit released results only up to pepoch,
   // so recovering slightly more than pepoch is always safe). The final

@@ -3,15 +3,20 @@
 //
 // A Database bundles the storage engine, transaction manager, stored
 // procedure registry, logging/checkpointing pipeline and the recovery
-// subsystem. Typical lifecycle (see examples/quickstart.cc):
+// subsystem. Clients talk to it through the session API (pacman/session.h):
+// typed ProcHandles, per-client Sessions, and TxnResults carrying the
+// values procedures Emit(). Typical lifecycle (see examples/quickstart.cc):
 //
 //   pacman::Database db(options);
-//   workload.CreateTables(db.catalog());
-//   workload.RegisterProcedures(db.registry());
-//   workload.Load(db.catalog());
+//   workload.Install(&db);          // tables + procedures + initial data
 //   db.FinalizeSchema();            // PACMAN static analysis (compile time)
 //   db.TakeCheckpoint();
-//   ... db.ExecuteProcedure(...) ...
+//   ProcHandle proc = db.proc("Transfer");
+//   auto session = db.OpenSession();
+//   TxnResult r = session->Call(proc, {args...});     // synchronous
+//   db.StartWorkers(8);                               // open-system pool
+//   TxnFuture f = session->Submit(proc, {args...});   // asynchronous
+//   ... f.Get() ... db.StopWorkers();
 //   db.Crash();                     // lose main memory
 //   auto result = db.Recover(recovery::Scheme::kClrP, recovery_options);
 #ifndef PACMAN_PACMAN_DATABASE_H_
@@ -30,6 +35,8 @@
 #include "logging/log_manager.h"
 #include "proc/interpreter.h"
 #include "proc/registry.h"
+#include "pacman/session.h"
+#include "pacman/txn_result.h"
 #include "pacman/workload_driver.h"
 #include "recovery/recovery.h"
 #include "storage/catalog.h"
@@ -38,6 +45,10 @@
 
 namespace pacman {
 
+// Validated at Database construction: num_ssds, num_loggers,
+// epochs_per_batch and ckpt_files_per_ssd must all be >= 1 (a clear
+// constructor-time error instead of a failure deep in the logging
+// pipeline).
 struct DatabaseOptions {
   logging::LogScheme scheme = logging::LogScheme::kCommand;
   uint32_t num_ssds = 2;
@@ -67,12 +78,63 @@ class Database {
   ~Database();
   PACMAN_DISALLOW_COPY_AND_MOVE(Database);
 
+  // --- Client API --------------------------------------------------------
+  // Opens a per-client session bound to a fresh worker log-buffer slot.
+  // Thread-safe; sessions must not outlive the database.
+  std::unique_ptr<Session> OpenSession();
+
+  // Name-resolved typed handle to a registered procedure. Returns an
+  // invalid handle (handle.valid() == false) for unknown names; calling
+  // through it yields kInvalidArgument.
+  ProcHandle proc(const std::string& name) const;
+  // Handle by id (e.g. from a workload generator). CHECKs the id exists.
+  ProcHandle proc(ProcId id) const;
+
+  // Registers a stored procedure (resolving its table names against the
+  // catalog) and returns its handle. Equivalent to registry()->Register
+  // plus proc(); the form examples and clients use.
+  ProcHandle Register(proc::ProcedureDef def);
+  size_t num_procedures() const { return registry_.size(); }
+  const std::string& procedure_name(ProcId id) const {
+    return registry_.Get(id).name;
+  }
+  const proc::ProcedureDef& procedure_def(ProcId id) const {
+    return registry_.Get(id);
+  }
+
+  // Starts the open-system executor pool: `num_workers` workers draining
+  // the shared submission queue that Session::Submit feeds. Aborts if a
+  // pool is already running. `queue_capacity` bounds queued requests
+  // (submitters block when full).
+  void StartWorkers(uint32_t num_workers, size_t queue_capacity = 4096);
+  // Drains outstanding submissions and stops the executor pool.
+  void StopWorkers();
+  bool workers_running() const { return service_ != nullptr; }
+  // The running executor service; null when StartWorkers is not active.
+  TxnService* service() { return service_.get(); }
+
+  // Registers and returns a worker log-buffer slot (§4.5 per-core
+  // logging). Used by sessions and executor workers; thread-safe.
+  // Released slots are recycled, so the buffer set grows with *peak*
+  // concurrency, not lifetime session count.
+  WorkerId AllocateWorkerSlot();
+  // Returns a slot to the free list (any staged records in its buffer are
+  // still drained by the next flush). Called by ~Session / ~TxnService.
+  void ReleaseWorkerSlot(WorkerId slot);
+
+  // Total serialized log bytes accepted by the loggers so far.
+  uint64_t log_bytes() const { return log_manager_->total_bytes(); }
+
+  // --- Engine internals (white-box access for tests and benchmarks) ------
   storage::Catalog* catalog() { return &catalog_; }
   proc::ProcedureRegistry* registry() { return &registry_; }
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   txn::EpochManager* epoch_manager() { return &epochs_; }
   logging::LogManager* log_manager() { return log_manager_.get(); }
-  device::SimulatedSsd* ssd(uint32_t i) { return ssds_[i].get(); }
+  device::SimulatedSsd* ssd(uint32_t i) {
+    PACMAN_CHECK_MSG(i < ssds_.size(), "ssd index out of range");
+    return ssds_[i].get();
+  }
   std::vector<device::SimulatedSsd*> ssd_ptrs();
   const DatabaseOptions& options() const { return options_; }
 
@@ -95,24 +157,29 @@ class Database {
     // Routes the commit record through this worker's log buffer (§4.5).
     WorkerId worker_id = kInvalidWorkerId;
   };
-  struct ExecStats {
-    int attempts = 0;  // 1 = committed first try; >1 = OCC retries.
-  };
 
-  // Executes one stored-procedure transaction (with OCC retry). Safe to
-  // call from many worker threads concurrently. `adhoc` tags it as an
-  // ad-hoc request: under command logging its write set is persisted
-  // logically instead of (proc, params) (§4.5).
+  // Executes one stored-procedure transaction (with OCC retry) and
+  // returns the full result, including the values the procedure Emit()ed.
+  // Safe to call from many worker threads concurrently. Prefer the typed
+  // session surface (Session::Call / Session::Submit), which validates
+  // signatures; this is the engine-level entry they dispatch to.
+  TxnResult Execute(ProcId proc, const std::vector<Value>& params,
+                    const ExecOptions& opts);
+  TxnResult Execute(ProcId proc, const std::vector<Value>& params) {
+    return Execute(proc, params, ExecOptions{});
+  }
+
+  // Status-only convenience wrapper (tests and benchmark loops).
   Status ExecuteProcedure(ProcId proc, const std::vector<Value>& params,
                           bool adhoc = false, int max_retries = 100) {
-    return Execute(proc, params, {adhoc, max_retries, kInvalidWorkerId});
+    return Execute(proc, params, {adhoc, max_retries, kInvalidWorkerId})
+        .status;
   }
-  Status Execute(ProcId proc, const std::vector<Value>& params,
-                 const ExecOptions& opts, ExecStats* stats = nullptr);
 
-  // Runs `opts.num_txns` transactions drawn from `gen` concurrently on
-  // `opts.num_workers` worker threads of the shared execution layer, with
-  // OCC retry, thread-safe epoch advancement and group commit. See
+  // Runs `opts.num_txns` transactions drawn from `gen` as a closed-loop
+  // client of the open-system submission path: `opts.num_workers` executor
+  // workers with OCC retry, thread-safe epoch advancement and group
+  // commit. Starts and stops the executor pool. See
   // pacman/workload_driver.h.
   DriverResult RunWorkers(const TxnGenerator& gen, const DriverOptions& opts);
 
@@ -132,7 +199,10 @@ class Database {
 
   // Simulates a crash: closes the log streams at the current boundary and
   // drops all in-memory table state. The catalog schemas, registry and
-  // static analysis survive (they are compile-time artifacts).
+  // static analysis survive (they are compile-time artifacts). A running
+  // executor pool is drained and stopped first, so every accepted
+  // submission commits (and its future resolves) before the crash point;
+  // open sessions stay valid across the crash.
   void Crash();
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
@@ -163,11 +233,16 @@ class Database {
   analysis::GlobalDependencyGraph gdg_;
   bool schema_finalized_ = false;
 
+  std::unique_ptr<TxnService> service_;  // Non-null while workers run.
+
   std::atomic<uint64_t> num_commits_{0};
   uint64_t next_ckpt_id_ = 0;
   std::atomic<double> total_flush_seconds_{0.0};
   std::atomic<bool> crashed_{false};
   std::mutex epoch_mu_;  // Serializes AdvanceEpoch across workers.
+  std::mutex slot_mu_;   // Guards the worker-slot allocator state.
+  WorkerId next_worker_slot_ = 0;
+  std::vector<WorkerId> free_worker_slots_;
 };
 
 }  // namespace pacman

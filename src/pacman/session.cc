@@ -1,0 +1,243 @@
+#include "pacman/session.h"
+
+#include <chrono>
+#include <string>
+
+#include "pacman/database.h"
+#include "proc/procedure.h"
+
+namespace pacman {
+
+namespace {
+
+// Validates an argument list against a procedure's declared signature:
+// arity always, per-parameter types when declared (kInt64 is accepted
+// where kDouble is declared, mirroring Value::AsDouble's promotion).
+Status ValidateArgs(const proc::ProcedureDef& def,
+                    const std::vector<Value>& args) {
+  if (static_cast<int>(args.size()) != def.num_params) {
+    return Status::InvalidArgument(
+        def.name + " expects " + std::to_string(def.num_params) +
+        " argument(s), got " + std::to_string(args.size()));
+  }
+  for (size_t i = 0; i < def.param_types.size(); ++i) {
+    const ValueType want = def.param_types[i];
+    const ValueType got = args[i].type();
+    if (got == want) continue;
+    if (want == ValueType::kDouble && got == ValueType::kInt64) continue;
+    return Status::InvalidArgument(
+        def.name + " argument " + std::to_string(i) + ": expected " +
+        ValueTypeName(want) + ", got " + ValueTypeName(got));
+  }
+  return Status::Ok();
+}
+
+TxnResult Rejected(Status status) {
+  TxnResult r;
+  r.status = std::move(status);
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared preamble of Call/Submit/Post: handle validity, handle/database
+// ownership, then the declared-signature check.
+Status CheckCallable(const ProcHandle& proc, const Database* db,
+                     const std::vector<Value>& args) {
+  if (!proc.valid()) {
+    return Status::InvalidArgument("invalid procedure handle");
+  }
+  if (proc.database() != db) {
+    return Status::InvalidArgument(
+        "procedure handle belongs to a different database");
+  }
+  return ValidateArgs(db->procedure_def(proc.id()), args);
+}
+
+}  // namespace
+
+Session::~Session() { db_->ReleaseWorkerSlot(slot_); }
+
+const std::string& ProcHandle::name() const {
+  PACMAN_CHECK_MSG(valid(), "invalid procedure handle");
+  return db_->procedure_name(id_);
+}
+
+int ProcHandle::num_params() const {
+  PACMAN_CHECK_MSG(valid(), "invalid procedure handle");
+  return db_->procedure_def(id_).num_params;
+}
+
+const std::vector<ValueType>& ProcHandle::param_types() const {
+  PACMAN_CHECK_MSG(valid(), "invalid procedure handle");
+  return db_->procedure_def(id_).param_types;
+}
+
+TxnResult Session::Call(const ProcHandle& proc,
+                        const std::vector<Value>& args,
+                        const TxnOptions& opts) {
+  Status s = CheckCallable(proc, db_, args);
+  if (!s.ok()) return Rejected(std::move(s));
+  Database::ExecOptions eopts;
+  eopts.adhoc = opts.adhoc;
+  eopts.max_retries = opts.max_retries;
+  eopts.worker_id = slot_;
+  return db_->Execute(proc.id(), args, eopts);
+}
+
+TxnFuture Session::Submit(const ProcHandle& proc, std::vector<Value> args,
+                          const TxnOptions& opts) {
+  Status s = CheckCallable(proc, db_, args);
+  if (!s.ok()) {
+    // Rejected before execution: resolve the future immediately.
+    auto state = std::make_shared<detail::TxnFutureState>();
+    state->Fulfill(Rejected(std::move(s)));
+    return TxnFuture(std::move(state));
+  }
+  TxnService* service = db_->service();
+  PACMAN_CHECK_MSG(service != nullptr,
+                   "Session::Submit requires Database::StartWorkers");
+  return service->Submit(proc.id(), std::move(args), opts);
+}
+
+Status Session::Post(const ProcHandle& proc, std::vector<Value> args,
+                     const TxnOptions& opts) {
+  Status s = CheckCallable(proc, db_, args);
+  if (!s.ok()) return s;
+  TxnService* service = db_->service();
+  PACMAN_CHECK_MSG(service != nullptr,
+                   "Session::Post requires Database::StartWorkers");
+  service->SubmitDetached(proc.id(), std::move(args), opts);
+  return Status::Ok();
+}
+
+TxnService::TxnService(Database* db, uint32_t num_workers,
+                       size_t queue_capacity)
+    : db_(db), capacity_(queue_capacity), pool_(num_workers) {
+  PACMAN_CHECK_MSG(num_workers >= 1, "TxnService needs >= 1 worker");
+  PACMAN_CHECK_MSG(queue_capacity >= 1,
+                   "TxnService needs a queue capacity >= 1");
+  stats_.resize(num_workers);
+  slots_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    slots_.push_back(db_->AllocateWorkerSlot());
+  }
+  // Pin one long-lived executor loop per pool thread (N loops on an
+  // N-thread pool: each thread pops exactly one).
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    pool_.Submit([this, i] { ExecutorLoop(i); });
+  }
+}
+
+TxnService::~TxnService() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();  // Wake submitters blocked on a full queue.
+  // Executors drain the remaining queue (fulfilling every future) before
+  // exiting; the pool destructor then joins its threads.
+  pool_.WaitIdle();
+  // Safe to recycle only once no executor can stage into them anymore.
+  for (WorkerId slot : slots_) db_->ReleaseWorkerSlot(slot);
+}
+
+TxnFuture TxnService::Submit(ProcId proc, std::vector<Value> args,
+                             const TxnOptions& opts) {
+  Request req;
+  req.proc = proc;
+  req.args = std::move(args);
+  req.opts = opts;
+  req.state = std::make_shared<detail::TxnFutureState>();
+  TxnFuture future(req.state);
+  Enqueue(std::move(req));
+  return future;
+}
+
+void TxnService::SubmitDetached(ProcId proc, std::vector<Value> args,
+                                const TxnOptions& opts) {
+  Request req;
+  req.proc = proc;
+  req.args = std::move(args);
+  req.opts = opts;
+  Enqueue(std::move(req));
+}
+
+void TxnService::Enqueue(Request req) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-check stop_ inside the wait: a submitter blocked on a full queue
+    // must not slip a request in after the executors were told to exit
+    // (its future would never resolve and the queue is about to die).
+    // Stopping the service while clients still submit is a caller
+    // contract violation; fail it deterministically here.
+    not_full_.wait(lock,
+                   [this] { return stop_ || queue_.size() < capacity_; });
+    PACMAN_CHECK_MSG(!stop_,
+                     "Submit raced TxnService shutdown — stop the client "
+                     "threads before StopWorkers/Crash");
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+}
+
+void TxnService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void TxnService::ExecutorLoop(uint32_t executor) {
+  WorkerStats& stats = stats_[executor];
+  const WorkerId slot = slots_[executor];
+  std::vector<Request> batch;
+  batch.reserve(kPopBatch);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and nothing left to drain.
+    // Take a batch under one lock: amortizes queue synchronization over
+    // kPopBatch transactions on the hot path.
+    const size_t take = std::min(queue_.size(), kPopBatch);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    busy_ += static_cast<uint32_t>(take);
+    lock.unlock();
+    if (take == 1) {
+      not_full_.notify_one();
+    } else {
+      not_full_.notify_all();
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    for (Request& req : batch) {
+      Database::ExecOptions eopts;
+      eopts.adhoc = req.opts.adhoc;
+      eopts.max_retries = req.opts.max_retries;
+      eopts.worker_id = slot;
+      TxnResult result = db_->Execute(req.proc, req.args, eopts);
+      stats.retries += result.attempts > 1
+                           ? static_cast<uint64_t>(result.attempts - 1)
+                           : 0;
+      if (result.ok()) {
+        stats.committed++;
+      } else {
+        stats.failed++;
+      }
+      if (req.state != nullptr) req.state->Fulfill(std::move(result));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    stats.seconds += std::chrono::duration<double>(end - start).count();
+    batch.clear();
+
+    lock.lock();
+    busy_ -= static_cast<uint32_t>(take);
+    if (queue_.empty() && busy_ == 0) drained_.notify_all();
+  }
+}
+
+}  // namespace pacman

@@ -1,0 +1,197 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Session-oriented client API.
+//
+// The paper's setting is a main-memory DBMS serving many concurrent
+// clients (§1, Appendix A). This header is that client surface:
+//
+//   pacman::Database db(options);
+//   bank.Install(&db);                      // tables + procedures + data
+//   db.FinalizeSchema();
+//   ProcHandle transfer = db.proc("Transfer");
+//   auto session = db.OpenSession();        // one per client thread
+//   TxnResult r = session->Call(transfer, {Value(int64_t{7}), Value(10.0)});
+//   // r.values = what the procedure Emit()ed; r.status / r.attempts / ...
+//
+//   db.StartWorkers(8);                     // open-system executor pool
+//   TxnFuture f = session->Submit(transfer, {...});
+//   ... f.Get() ...
+//   db.StopWorkers();
+//
+// Call() executes synchronously on the calling thread. Submit() enqueues
+// the request on a bounded submission queue drained by N executor workers
+// running on the shared exec::ThreadPool — the open-system path that both
+// real clients and the closed-loop WorkloadDriver use. Either way the
+// argument list is validated against the procedure's declared signature
+// before any transaction starts, and commit records stage in a per-worker
+// log buffer (§4.5) merged at each group-commit flush.
+#ifndef PACMAN_PACMAN_SESSION_H_
+#define PACMAN_PACMAN_SESSION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "exec/thread_pool.h"
+#include "pacman/txn_result.h"
+#include "pacman/workload_driver.h"
+
+namespace pacman {
+
+class Database;
+
+// Typed handle to a registered stored procedure. Name resolution happens
+// once, when the handle is obtained (Database::proc / Database::Register);
+// every call through it is an O(1) id dispatch plus signature validation.
+// A default-constructed handle is invalid; calling through it yields
+// kInvalidArgument, never undefined behavior.
+class ProcHandle {
+ public:
+  ProcHandle() = default;
+
+  bool valid() const { return db_ != nullptr; }
+  ProcId id() const { return id_; }
+  // The database this handle resolves against (null when invalid).
+  const Database* database() const { return db_; }
+  // Name and declared signature; all require valid().
+  const std::string& name() const;
+  int num_params() const;
+  const std::vector<ValueType>& param_types() const;
+
+ private:
+  friend class Database;
+  ProcHandle(const Database* db, ProcId id) : db_(db), id_(id) {}
+
+  const Database* db_ = nullptr;
+  ProcId id_ = 0;
+};
+
+// Per-call execution knobs of the client API.
+struct TxnOptions {
+  // Tag as an ad-hoc request: under command logging its write set is
+  // persisted logically instead of (proc, params) (§4.5).
+  bool adhoc = false;
+  int max_retries = 100;  // OCC retry budget.
+};
+
+// A per-client connection to the database, bound to its own worker
+// log-buffer slot: records of transactions this session commits
+// synchronously stage there uncontended until group commit merges them
+// (§4.5 per-core logging, applied per client).
+//
+// Thread-compatible, not thread-safe: open one session per client thread.
+// Sessions stay valid across Crash()/Recover() and must not outlive the
+// Database.
+class Session {
+ public:
+  // Returns the log-buffer slot to the database for reuse.
+  ~Session();
+  PACMAN_DISALLOW_COPY_AND_MOVE(Session);
+
+  // Synchronous execution on the calling thread (with OCC retry).
+  // Validates `args` against the declared signature first; on mismatch
+  // returns kInvalidArgument with attempts == 0 and no transaction runs.
+  // Takes args by reference: nothing is enqueued, so no copy is needed.
+  TxnResult Call(const ProcHandle& proc, const std::vector<Value>& args,
+                 const TxnOptions& opts = TxnOptions{});
+
+  // Asynchronous open-system submission: validates, then enqueues for the
+  // database's executor workers (Database::StartWorkers must be active).
+  // Blocks only when the submission queue is at capacity (backpressure).
+  // A validation failure completes the future immediately.
+  TxnFuture Submit(const ProcHandle& proc, std::vector<Value> args,
+                   const TxnOptions& opts = TxnOptions{});
+
+  // Like Submit, but fire-and-forget: no future is allocated, so the only
+  // completion signal is queue backpressure / TxnService::Drain, and the
+  // only outcome record is the executor stats. Returns the validation
+  // status (kInvalidArgument rejections never enqueue). The closed-loop
+  // WorkloadDriver runs on this.
+  Status Post(const ProcHandle& proc, std::vector<Value> args,
+              const TxnOptions& opts = TxnOptions{});
+
+  // The log-buffer slot synchronous commits stage into.
+  WorkerId slot() const { return slot_; }
+
+ private:
+  friend class Database;
+  Session(Database* db, WorkerId slot) : db_(db), slot_(slot) {}
+
+  Database* db_;
+  WorkerId slot_;
+};
+
+// Open-system transaction executor: a bounded MPMC submission queue fed by
+// any number of sessions, drained by N executor workers pinned on the
+// shared exec::ThreadPool. Each executor owns a worker log-buffer slot, so
+// the §4.5 per-core logging discipline and epoch group commit work exactly
+// as in the closed-loop engine. Owned by Database (StartWorkers /
+// StopWorkers); sessions reach it through Session::Submit.
+class TxnService {
+ public:
+  TxnService(Database* db, uint32_t num_workers, size_t queue_capacity);
+  // Drains the queue (fulfilling every pending future), then stops.
+  ~TxnService();
+  PACMAN_DISALLOW_COPY_AND_MOVE(TxnService);
+
+  // Enqueues one request; blocks while the queue is at capacity.
+  TxnFuture Submit(ProcId proc, std::vector<Value> args,
+                   const TxnOptions& opts);
+
+  // Fire-and-forget submission: no future is allocated; the outcome is
+  // visible only in the per-executor stats. The closed-loop WorkloadDriver
+  // uses this — queue backpressure alone bounds its in-flight window, and
+  // skipping the per-transaction future keeps the submission path within
+  // noise of direct execution.
+  void SubmitDetached(ProcId proc, std::vector<Value> args,
+                      const TxnOptions& opts);
+
+  // Blocks until every submitted request has finished executing.
+  void Drain();
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(stats_.size());
+  }
+  // Per-executor forward-processing stats. Call after Drain() (or after
+  // every submitted future resolved); concurrent executors update their
+  // entries while running.
+  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+
+ private:
+  struct Request {
+    ProcId proc = 0;
+    std::vector<Value> args;
+    TxnOptions opts;
+    std::shared_ptr<detail::TxnFutureState> state;  // Null when detached.
+  };
+
+  // Executors take up to this many requests per queue lock.
+  static constexpr size_t kPopBatch = 32;
+
+  void Enqueue(Request req);
+  void ExecutorLoop(uint32_t executor);
+
+  Database* db_;
+  const size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;  // Work available (or stopping).
+  std::condition_variable not_full_;   // Queue dropped below capacity.
+  std::condition_variable drained_;    // Queue empty and executors idle.
+  std::deque<Request> queue_;
+  uint32_t busy_ = 0;
+  bool stop_ = false;
+
+  std::vector<WorkerId> slots_;     // Log-buffer slot per executor.
+  std::vector<WorkerStats> stats_;  // Entry e written only by executor e.
+  exec::ThreadPool pool_;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_PACMAN_SESSION_H_

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Transaction results of the client API: what a caller gets back from
+// Session::Call (directly) or Session::Submit (through a TxnFuture).
+#ifndef PACMAN_PACMAN_TXN_RESULT_H_
+#define PACMAN_PACMAN_TXN_RESULT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace pacman {
+
+// Outcome of one transaction. `values` carries the data the stored
+// procedure produced for the client (its Emit() expressions, evaluated on
+// the committed attempt) — the paper's "results are returned to the
+// clients" (Appendix A) made concrete.
+struct TxnResult {
+  Status status = Status::Ok();
+  // Commit attempts: 1 = committed first try, >1 = OCC retries,
+  // 0 = rejected before execution (e.g. a signature mismatch).
+  int attempts = 0;
+  // Commit timestamp (= global commit order ticket) on success.
+  Timestamp commit_ts = kInvalidTimestamp;
+  // One entry per Emit() in the procedure, in declaration order.
+  std::vector<Value> values;
+
+  bool ok() const { return status.ok(); }
+};
+
+namespace detail {
+
+// Shared completion state between a TxnFuture and the executor that
+// fulfills it.
+struct TxnFutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  TxnResult result;
+
+  void Fulfill(TxnResult r) {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+// Handle to the eventual result of an asynchronous submission. Cheap to
+// copy; all copies observe the same result. A default-constructed future
+// is invalid (valid() == false) and must not be waited on.
+class TxnFuture {
+ public:
+  TxnFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // Non-blocking: has the transaction finished?
+  bool Done() const {
+    std::lock_guard<std::mutex> g(state_->mu);
+    return state_->done;
+  }
+
+  // Blocks until the transaction finishes; returns its result. The
+  // reference stays valid as long as this future (or a copy) is alive.
+  const TxnResult& Get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    return state_->result;
+  }
+
+ private:
+  friend class Session;
+  friend class TxnService;
+  explicit TxnFuture(std::shared_ptr<detail::TxnFutureState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TxnFutureState> state_;
+};
+
+}  // namespace pacman
+
+#endif  // PACMAN_PACMAN_TXN_RESULT_H_

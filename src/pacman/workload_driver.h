@@ -3,10 +3,13 @@
 //
 // PACMAN's premise is multicore parallelism during forward processing as
 // much as during recovery (per-worker command logging, epoch group commit;
-// paper §3, §4.5, Appendix A). The driver executes stored-procedure
-// transactions drawn from a workload generator concurrently on N workers
-// of the shared execution layer (exec::ThreadPool), retrying OCC aborts,
-// and reports per-worker throughput so scaling regressions are visible.
+// paper §3, §4.5, Appendix A). The driver is a thin *closed-loop client*
+// of the open-system submission path (pacman/session.h): it opens one
+// session per worker, each driven by its own request stream with a bounded
+// number of in-flight submissions, feeding the database's executor pool.
+// Scaling benchmarks therefore exercise exactly the code a real client
+// would: Session::Submit -> submission queue -> N executor workers with
+// OCC retry, per-worker log staging and group commit.
 #ifndef PACMAN_PACMAN_WORKLOAD_DRIVER_H_
 #define PACMAN_PACMAN_WORKLOAD_DRIVER_H_
 
@@ -29,22 +32,33 @@ class Database;
 using TxnGenerator = std::function<ProcId(Rng*, std::vector<Value>*)>;
 
 struct DriverOptions {
+  // Executor workers (and closed-loop client streams). Must be >= 1;
+  // Run() aborts with a clear message otherwise.
   uint32_t num_workers = 1;
-  // Total transactions across all workers (split as evenly as possible).
+  // Total transactions across all streams (split as evenly as possible).
+  // 0 is a defined no-op: Run() returns immediately with an empty result
+  // (num_workers zeroed WorkerStats, nothing committed).
   uint64_t num_txns = 0;
   // Fraction of transactions tagged ad-hoc (§4.5 logging downgrade).
+  // Must lie in [0, 1].
   double adhoc_fraction = 0.0;
-  // Worker w draws from an independent stream seeded with seed + f(w);
-  // worker 0's stream equals a single-threaded run with the same seed.
+  // Client stream c draws from an independent RNG seeded with seed + f(c);
+  // stream 0 equals a single-threaded run with the same seed.
   uint64_t seed = 42;
   int max_retries = 100;
+  // Per-client share of the bounded submission queue (capacity =
+  // num_workers * pipeline_depth): a client stream blocks whenever the
+  // executors fall this many transactions behind it. 1 approximates a
+  // strict closed loop; larger values pipeline the streams so executors
+  // never starve between requests.
+  uint32_t pipeline_depth = 256;
 };
 
 struct WorkerStats {
   uint64_t committed = 0;
   uint64_t failed = 0;   // Exhausted max_retries (kept out of `committed`).
   uint64_t retries = 0;  // Extra OCC attempts beyond the first.
-  double seconds = 0.0;  // Busy wall-clock time of this worker.
+  double seconds = 0.0;  // Busy execution time of this worker.
 
   double TxnsPerSecond() const {
     return seconds > 0.0 ? static_cast<double>(committed) / seconds : 0.0;
@@ -52,6 +66,8 @@ struct WorkerStats {
 };
 
 struct DriverResult {
+  // Per-executor stats. With the shared submission queue the per-worker
+  // split of committed transactions is load-balanced, not a fixed 1/N.
   std::vector<WorkerStats> workers;
   uint64_t committed = 0;
   uint64_t failed = 0;
@@ -74,10 +90,11 @@ class WorkloadDriver {
   WorkloadDriver(Database* db, TxnGenerator gen);
   PACMAN_DISALLOW_COPY_AND_MOVE(WorkloadDriver);
 
-  // Runs opts.num_txns transactions on opts.num_workers pool workers and
-  // blocks until all are done. Registers per-worker log buffers with the
-  // logging pipeline first, so commits stage locally and merge at each
-  // epoch's group-commit flush.
+  // Runs opts.num_txns transactions through the submission path on
+  // opts.num_workers executor workers and blocks until all are done.
+  // Starts (and stops) the database's executor pool; aborts if one is
+  // already running. Degenerate options are rejected with a clear error
+  // (see DriverOptions).
   DriverResult Run(const DriverOptions& opts);
 
  private:

@@ -71,6 +71,16 @@ Status ExecuteAll(ProcState* state, AccessContext* access) {
   return ExecuteOps(all, state, access);
 }
 
+std::vector<Value> EvalResults(const ProcState& state) {
+  std::vector<Value> out;
+  out.reserve(state.proc->results.size());
+  EvalContext ctx = state.Ctx();
+  for (const ExprPtr& e : state.proc->results) {
+    out.push_back(e->Resolvable(ctx) ? e->Eval(ctx) : Value::Null());
+  }
+  return out;
+}
+
 bool TryExtractAccessSet(const std::vector<OpIndex>& op_indices,
                          const ProcState& state,
                          std::vector<std::pair<TableId, Key>>* out) {

@@ -149,6 +149,13 @@ Status ExecuteOps(const std::vector<OpIndex>& op_indices, ProcState* state,
 // Executes all operations of the procedure in program order.
 Status ExecuteAll(ProcState* state, AccessContext* access);
 
+// Evaluates the procedure's Emit() result expressions against the final
+// execution state — the client-visible outputs of the transaction. An
+// expression referencing a local whose defining read was guarded out or
+// missed evaluates to Null (checked via Resolvable, so no arithmetic runs
+// on absent rows). Recovery never calls this: responses are not replayed.
+std::vector<Value> EvalResults(const ProcState& state);
+
 // Dynamic analysis: computes the (table,key) set the given ops would
 // access, using the runtime values available in `state`. Returns false if
 // some key or guard is not yet resolvable (it depends on a read that has

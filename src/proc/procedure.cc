@@ -11,6 +11,13 @@ ProcedureBuilder::ProcedureBuilder(std::string name, int num_params) {
   def_.num_params = num_params;
 }
 
+ProcedureBuilder::ProcedureBuilder(std::string name,
+                                   std::vector<ValueType> param_types) {
+  def_.name = std::move(name);
+  def_.num_params = static_cast<int>(param_types.size());
+  def_.param_types = std::move(param_types);
+}
+
 ExprPtr ProcedureBuilder::CurrentGuard() const {
   if (guard_stack_.empty()) return nullptr;
   ExprPtr g = guard_stack_[0];
@@ -103,6 +110,11 @@ void ProcedureBuilder::BeginIf(ExprPtr condition) {
 void ProcedureBuilder::EndIf() {
   PACMAN_CHECK(!guard_stack_.empty());
   guard_stack_.pop_back();
+}
+
+void ProcedureBuilder::Emit(ExprPtr value) {
+  PACMAN_CHECK(value != nullptr);
+  def_.results.push_back(std::move(value));
 }
 
 ProcedureDef ProcedureBuilder::Build() {

@@ -46,8 +46,17 @@ struct ProcedureDef {
   std::string name;
   ProcId id = 0;       // Assigned by ProcedureRegistry.
   int num_params = 0;
+  // Declared parameter types, validated against the argument list on every
+  // client call. Empty = undeclared (argument count is still checked).
+  std::vector<ValueType> param_types;
   int num_locals = 0;  // Number of read outputs.
   std::vector<Operation> ops;
+  // Client-visible result expressions (Emit): evaluated against the final
+  // parameter/local state after the body runs and returned to the caller
+  // in TxnResult::values. Not database operations — they take no part in
+  // the dependency analysis and are never logged (recovery re-derives
+  // state, not responses).
+  std::vector<ExprPtr> results;
 };
 
 // Incremental construction of a ProcedureDef with automatic flow-dependency
@@ -56,7 +65,11 @@ struct ProcedureDef {
 // conjoined).
 class ProcedureBuilder {
  public:
+  // Untyped signature: `num_params` arguments of unchecked type.
   ProcedureBuilder(std::string name, int num_params);
+  // Typed signature: one ValueType per parameter, enforced at call time
+  // (kInt64 arguments are accepted where kDouble is declared).
+  ProcedureBuilder(std::string name, std::vector<ValueType> param_types);
 
   // Adds a read; returns the local variable index holding the result row.
   int Read(const std::string& table, ExprPtr key);
@@ -78,6 +91,12 @@ class ProcedureBuilder {
 
   void BeginIf(ExprPtr condition);
   void EndIf();
+
+  // Declares a client-visible result value, appended to TxnResult::values
+  // in Emit order. Evaluated after the whole body has run; an expression
+  // that references a local whose defining read was guarded out (or
+  // missed) yields Null.
+  void Emit(ExprPtr value);
 
   ProcedureDef Build();
 

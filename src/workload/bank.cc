@@ -1,5 +1,6 @@
 #include "workload/bank.h"
 
+#include "pacman/database.h"
 #include "proc/expr.h"
 #include "proc/procedure.h"
 
@@ -34,7 +35,8 @@ void Bank::CreateTables(storage::Catalog* catalog) {
 void Bank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   {
     // Fig. 2a: Transfer(src, amount).
-    proc::ProcedureBuilder b("Transfer", /*num_params=*/2);
+    proc::ProcedureBuilder b("Transfer",
+                             {ValueType::kInt64, ValueType::kDouble});
     int fam = b.Read("Family", P(0));  // dst <- read(Family, src).
     // "dst != NULL": the row exists and names a spouse (>= 0).
     b.BeginIf(And(Exists(fam), Ge(F(fam, 0), C(int64_t{0}))));
@@ -46,11 +48,17 @@ void Bank::RegisterProcedures(proc::ProcedureRegistry* registry) {
     int sav = b.Read("Saving", P(0));
     b.Update("Saving", P(0), sav, {{0, Add(F(sav, 0), C(1.0))}});
     b.EndIf();
+    // Results: did the transfer branch run, and src's new balance (Null
+    // when the guard skipped the branch).
+    b.Emit(Exists(src_cur));
+    b.Emit(Sub(F(src_cur, 0), P(1)));
     transfer_id_ = registry->Register(b.Build());
   }
   {
     // Fig. 4: Deposit(name, amount, nation).
-    proc::ProcedureBuilder b("Deposit", /*num_params=*/3);
+    proc::ProcedureBuilder b(
+        "Deposit",
+        {ValueType::kInt64, ValueType::kDouble, ValueType::kInt64});
     int cur = b.Read("Current", P(0));
     b.Update("Current", P(0), cur, {{0, Add(F(cur, 0), P(1))}});
     b.BeginIf(Gt(Add(F(cur, 0), P(1)), C(10000.0)));
@@ -60,8 +68,16 @@ void Bank::RegisterProcedures(proc::ProcedureRegistry* registry) {
     int st = b.Read("Stats", P(2));
     b.Update("Stats", P(2), st, {{0, Add(F(st, 0), C(int64_t{1}))}});
     b.EndIf();
+    // Result: the account's new Current balance.
+    b.Emit(Add(F(cur, 0), P(1)));
     deposit_id_ = registry->Register(b.Build());
   }
+}
+
+void Bank::Install(Database* db) {
+  CreateTables(db->catalog());
+  RegisterProcedures(db->registry());
+  Load(db->catalog());
 }
 
 void Bank::Load(storage::Catalog* catalog) {

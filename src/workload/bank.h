@@ -14,6 +14,10 @@
 #include "proc/registry.h"
 #include "storage/catalog.h"
 
+namespace pacman {
+class Database;
+}  // namespace pacman
+
 namespace pacman::workload {
 
 struct BankConfig {
@@ -33,6 +37,10 @@ class Bank {
   void RegisterProcedures(proc::ProcedureRegistry* registry);
   // Bulk-loads the initial state at timestamp 1.
   void Load(storage::Catalog* catalog);
+
+  // CreateTables + RegisterProcedures + Load against a Database — the
+  // session-API setup used by examples and clients (no raw internals).
+  void Install(Database* db);
 
   // Generates one transaction request (procedure id + parameters).
   ProcId NextTransaction(Rng* rng, std::vector<Value>* params) const;

@@ -1,5 +1,6 @@
 #include "workload/smallbank.h"
 
+#include "pacman/database.h"
 #include "proc/expr.h"
 #include "proc/procedure.h"
 
@@ -27,7 +28,8 @@ void Smallbank::CreateTables(storage::Catalog* catalog) {
 void Smallbank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   {
     // Amalgamate(src, dst): move everything from src into dst's checking.
-    proc::ProcedureBuilder b("Amalgamate", 2);
+    proc::ProcedureBuilder b("Amalgamate",
+                             {ValueType::kInt64, ValueType::kInt64});
     int sav = b.Read("Savings", P(0));
     int chk = b.Read("Checking", P(0));
     b.Update("Savings", P(0), sav, {{0, C(0.0)}});
@@ -39,14 +41,17 @@ void Smallbank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // DepositChecking(acct, amount).
-    proc::ProcedureBuilder b("DepositChecking", 2);
+    proc::ProcedureBuilder b(
+        "DepositChecking", {ValueType::kInt64, ValueType::kDouble});
     int chk = b.Read("Checking", P(0));
     b.Update("Checking", P(0), chk, {{0, Add(F(chk, 0), P(1))}});
     deposit_checking_id_ = registry->Register(b.Build());
   }
   {
     // SendPayment(src, dst, amount): checking-to-checking transfer.
-    proc::ProcedureBuilder b("SendPayment", 3);
+    proc::ProcedureBuilder b(
+        "SendPayment",
+        {ValueType::kInt64, ValueType::kInt64, ValueType::kDouble});
     int src = b.Read("Checking", P(0));
     b.BeginIf(Ge(F(src, 0), P(2)));
     b.Update("Checking", P(0), src, {{0, Sub(F(src, 0), P(2))}});
@@ -57,7 +62,8 @@ void Smallbank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // TransactSavings(acct, amount).
-    proc::ProcedureBuilder b("TransactSavings", 2);
+    proc::ProcedureBuilder b(
+        "TransactSavings", {ValueType::kInt64, ValueType::kDouble});
     int sav = b.Read("Savings", P(0));
     b.Update("Savings", P(0), sav, {{0, Add(F(sav, 0), P(1))}});
     transact_savings_id_ = registry->Register(b.Build());
@@ -65,7 +71,8 @@ void Smallbank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   {
     // WriteCheck(acct, amount): deduct from checking; overdraft penalty $1
     // when savings + checking cannot cover the check.
-    proc::ProcedureBuilder b("WriteCheck", 2);
+    proc::ProcedureBuilder b("WriteCheck",
+                             {ValueType::kInt64, ValueType::kDouble});
     int sav = b.Read("Savings", P(0));
     int chk = b.Read("Checking", P(0));
     b.BeginIf(Ge(Add(F(sav, 0), F(chk, 0)), P(1)));
@@ -79,11 +86,22 @@ void Smallbank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // Balance(acct): read-only; produces no log records.
-    proc::ProcedureBuilder b("Balance", 1);
-    b.Read("Savings", P(0));
-    b.Read("Checking", P(0));
+    proc::ProcedureBuilder b("Balance", {ValueType::kInt64});
+    int sav = b.Read("Savings", P(0));
+    int chk = b.Read("Checking", P(0));
+    // Results: savings, checking, and their sum (the client-visible
+    // answer of this read-only procedure).
+    b.Emit(F(sav, 0));
+    b.Emit(F(chk, 0));
+    b.Emit(Add(F(sav, 0), F(chk, 0)));
     balance_id_ = registry->Register(b.Build());
   }
+}
+
+void Smallbank::Install(Database* db) {
+  CreateTables(db->catalog());
+  RegisterProcedures(db->registry());
+  Load(db->catalog());
 }
 
 void Smallbank::Load(storage::Catalog* catalog) {

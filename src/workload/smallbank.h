@@ -14,6 +14,10 @@
 #include "proc/registry.h"
 #include "storage/catalog.h"
 
+namespace pacman {
+class Database;
+}  // namespace pacman
+
 namespace pacman::workload {
 
 struct SmallbankConfig {
@@ -31,6 +35,10 @@ class Smallbank {
   void CreateTables(storage::Catalog* catalog);
   void RegisterProcedures(proc::ProcedureRegistry* registry);
   void Load(storage::Catalog* catalog);
+
+  // CreateTables + RegisterProcedures + Load against a Database — the
+  // session-API setup used by examples and clients (no raw internals).
+  void Install(Database* db);
 
   ProcId NextTransaction(Rng* rng, std::vector<Value>* params) const;
 

@@ -1,5 +1,7 @@
 #include "workload/tpcc.h"
 
+#include "pacman/database.h"
+
 #include "common/macros.h"
 #include "proc/expr.h"
 #include "proc/procedure.h"
@@ -103,7 +105,9 @@ void Tpcc::RegisterProcedures(proc::ProcedureRegistry* registry) {
 
   {
     // NewOrder(w, d, c, i[0..9], qty[0..9]).
-    proc::ProcedureBuilder b("NewOrder", 3 + 2 * k_items);
+    std::vector<ValueType> sig(3 + 2 * static_cast<size_t>(k_items),
+                               ValueType::kInt64);
+    proc::ProcedureBuilder b("NewOrder", std::move(sig));
     int lw = b.Read("WAREHOUSE", P(0));
     int ld = b.Read("DISTRICT", DistrictKeyE(P(0), P(1)));
     b.Update("DISTRICT", DistrictKeyE(P(0), P(1)), ld,
@@ -142,7 +146,9 @@ void Tpcc::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // Payment(w, d, c, amount).
-    proc::ProcedureBuilder b("Payment", 4);
+    proc::ProcedureBuilder b("Payment",
+                             {ValueType::kInt64, ValueType::kInt64,
+                              ValueType::kInt64, ValueType::kDouble});
     int lw = b.Read("WAREHOUSE", P(0));
     b.Update("WAREHOUSE", P(0), lw, {{2, Add(F(lw, 2), P(3))}});
     int ld = b.Read("DISTRICT", DistrictKeyE(P(0), P(1)));
@@ -158,7 +164,9 @@ void Tpcc::RegisterProcedures(proc::ProcedureRegistry* registry) {
   {
     // Delivery(w, o_slot, carrier). One round over all districts; the
     // customer key comes from the ORDERS row (foreign-key pattern).
-    proc::ProcedureBuilder b("Delivery", 3);
+    proc::ProcedureBuilder b(
+        "Delivery",
+        {ValueType::kInt64, ValueType::kInt64, ValueType::kInt64});
     for (int64_t d = 0; d < config_.districts_per_warehouse; ++d) {
       ExprPtr dk = C(d);
       int lo = b.Read("ORDERS", OrderKeyE(P(0), dk, P(1)));
@@ -178,7 +186,9 @@ void Tpcc::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // StockLevel(w, d, i) — read-only.
-    proc::ProcedureBuilder b("StockLevel", 3);
+    proc::ProcedureBuilder b(
+        "StockLevel",
+        {ValueType::kInt64, ValueType::kInt64, ValueType::kInt64});
     int ld = b.Read("DISTRICT", DistrictKeyE(P(0), P(1)));
     ExprPtr last_slot =
         Mod(Add(F(ld, 2), C(n_orders - 1)), C(n_orders));
@@ -190,13 +200,21 @@ void Tpcc::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
   {
     // OrderStatus(w, d, c, o_slot) — read-only.
-    proc::ProcedureBuilder b("OrderStatus", 4);
+    proc::ProcedureBuilder b("OrderStatus",
+                             {ValueType::kInt64, ValueType::kInt64,
+                              ValueType::kInt64, ValueType::kInt64});
     b.Read("CUSTOMER", CustomerKeyE(P(0), P(1), P(2)));
     int lo = b.Read("ORDERS", OrderKeyE(P(0), P(1), P(3)));
     (void)lo;
     b.Read("ORDER_LINE", OrderLineKeyE(P(0), P(1), P(3), C(int64_t{0})));
     order_status_id_ = registry->Register(b.Build());
   }
+}
+
+void Tpcc::Install(Database* db) {
+  CreateTables(db->catalog());
+  RegisterProcedures(db->registry());
+  Load(db->catalog());
 }
 
 void Tpcc::Load(storage::Catalog* catalog) {

@@ -25,6 +25,10 @@
 #include "proc/registry.h"
 #include "storage/catalog.h"
 
+namespace pacman {
+class Database;
+}  // namespace pacman
+
 namespace pacman::workload {
 
 struct TpccConfig {
@@ -53,6 +57,10 @@ class Tpcc {
   void CreateTables(storage::Catalog* catalog);
   void RegisterProcedures(proc::ProcedureRegistry* registry);
   void Load(storage::Catalog* catalog);
+
+  // CreateTables + RegisterProcedures + Load against a Database — the
+  // session-API setup used by examples and clients (no raw internals).
+  void Install(Database* db);
 
   ProcId NextTransaction(Rng* rng, std::vector<Value>* params) const;
 

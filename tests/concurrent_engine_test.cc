@@ -9,21 +9,12 @@
 
 #include "pacman/database.h"
 #include "storage/table.h"
+#include "test_util.h"
 #include "workload/bank.h"
 #include "workload/smallbank.h"
 
 namespace pacman {
 namespace {
-
-// Sum of column `col` over the rows of `table` visible at `ts`.
-double VisibleSum(const storage::Table* table, Timestamp ts, int col = 0) {
-  double sum = 0.0;
-  table->ForEachSlot([&](storage::TupleSlot* slot) {
-    const storage::Version* v = slot->VisibleAt(ts);
-    if (v != nullptr && !v->deleted) sum += v->data[col].AsDouble();
-  });
-  return sum;
-}
 
 class ConcurrentEngineTest : public ::testing::Test {
  protected:
@@ -75,22 +66,22 @@ TEST_F(ConcurrentEngineTest, FourWorkersCommitEverythingOnce) {
   EXPECT_EQ(r.failed, 0u);
   EXPECT_EQ(r.committed, 4000u);
   EXPECT_EQ(db->commits(), 4000u);
-  // Per-worker stats add up to the aggregate.
+  // Per-worker stats add up to the aggregate (the shared submission queue
+  // load-balances the per-executor split, so no fixed 1/N share).
   uint64_t sum = 0;
-  for (const WorkerStats& w : r.workers) {
-    EXPECT_EQ(w.committed, 1000u);
-    sum += w.committed;
-  }
+  for (const WorkerStats& w : r.workers) sum += w.committed;
   EXPECT_EQ(sum, r.committed);
-  // Per-worker log staging was actually engaged.
+  // Per-worker log staging was actually engaged (executor slots).
   EXPECT_GE(db->log_manager()->num_worker_buffers(), 4u);
+  // The driver tears its executor pool down when done.
+  EXPECT_FALSE(db->workers_running());
 }
 
 TEST_F(ConcurrentEngineTest, TransfersConserveBalanceSum) {
   auto db = MakeBankDb();
   const storage::Table* current = db->catalog()->GetTable("Current");
   const double before =
-      VisibleSum(current, db->txn_manager()->LastCommitted());
+      testutil::VisibleSum(current, db->txn_manager()->LastCommitted());
 
   db->TakeCheckpoint();
   DriverOptions opts;
@@ -100,7 +91,7 @@ TEST_F(ConcurrentEngineTest, TransfersConserveBalanceSum) {
   ASSERT_EQ(r.failed, 0u);
 
   const double after =
-      VisibleSum(current, db->txn_manager()->LastCommitted());
+      testutil::VisibleSum(current, db->txn_manager()->LastCommitted());
   EXPECT_NEAR(before, after, 1e-6);
 }
 
@@ -115,7 +106,7 @@ TEST_F(ConcurrentEngineTest, CrashRecoveryReproducesConcurrentState) {
 
   const storage::Table* current = db->catalog()->GetTable("Current");
   const double sum_before =
-      VisibleSum(current, db->txn_manager()->LastCommitted());
+      testutil::VisibleSum(current, db->txn_manager()->LastCommitted());
   const uint64_t hash = db->ContentHash();
 
   db->Crash();
@@ -124,7 +115,7 @@ TEST_F(ConcurrentEngineTest, CrashRecoveryReproducesConcurrentState) {
   db->Recover(recovery::Scheme::kClrP, ropts);
 
   EXPECT_EQ(db->ContentHash(), hash);
-  EXPECT_NEAR(VisibleSum(current, db->txn_manager()->LastCommitted()),
+  EXPECT_NEAR(testutil::VisibleSum(current, db->txn_manager()->LastCommitted()),
               sum_before, 1e-6);
 }
 

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Small helpers shared by the test suites.
+#ifndef PACMAN_TESTS_TEST_UTIL_H_
+#define PACMAN_TESTS_TEST_UTIL_H_
+
+#include "common/types.h"
+#include "storage/table.h"
+
+namespace pacman::testutil {
+
+// Sum of column `col` over the rows of `table` visible at `ts`. Used by
+// the balance-conservation invariants of the concurrency suites.
+inline double VisibleSum(const storage::Table* table, Timestamp ts,
+                         int col = 0) {
+  double sum = 0.0;
+  table->ForEachSlot([&](storage::TupleSlot* slot) {
+    const storage::Version* v = slot->VisibleAt(ts);
+    if (v != nullptr && !v->deleted) sum += v->data[col].AsDouble();
+  });
+  return sum;
+}
+
+}  // namespace pacman::testutil
+
+#endif  // PACMAN_TESTS_TEST_UTIL_H_
