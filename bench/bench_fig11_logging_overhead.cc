@@ -53,7 +53,9 @@ void RunConfig(uint32_t num_ssds, uint32_t threads) {
 }  // namespace pacman::bench
 
 int main(int argc, char** argv) {
-  const uint32_t threads = pacman::ParseCommonFlags(argc, argv).threads;
+  const pacman::CommonFlags flags = pacman::ParseCommonFlags(argc, argv);
+  pacman::bench::SetDeviceFlags(flags);
+  const uint32_t threads = flags.threads;
   pacman::bench::PrintTitle(
       "Fig. 11 - Throughput and latency during transaction processing "
       "(TPC-C)");

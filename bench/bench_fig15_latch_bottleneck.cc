@@ -42,7 +42,9 @@ void Run(Scheme scheme, logging::LogScheme format, const char* fig,
 
 int main(int argc, char** argv) {
   using namespace pacman::bench;
-  const uint32_t threads = pacman::ParseCommonFlags(argc, argv).threads;
+  const pacman::CommonFlags flags = pacman::ParseCommonFlags(argc, argv);
+  pacman::bench::SetDeviceFlags(flags);
+  const uint32_t threads = flags.threads;
   PrintTitle("Fig. 15 - Latching bottleneck in tuple-level log recovery");
   Run(pacman::recovery::Scheme::kPlr, pacman::logging::LogScheme::kPhysical,
       "a", threads);

@@ -5,6 +5,7 @@
 #ifndef PACMAN_BENCH_HARNESS_H_
 #define PACMAN_BENCH_HARNESS_H_
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/device_flags.h"
 #include "pacman/workload_driver.h"
 #include "workload/adhoc.h"
 #include "workload/smallbank.h"
@@ -27,6 +29,18 @@ struct Env {
   std::string name;
 };
 
+// Device selection shared by every Env a bench constructs: call
+// SetDeviceFlags(flags) once after ParseCommonFlags and all subsequent
+// environments honor --device/--log-dir, each in a disjoint subdirectory
+// (benches build many databases; their logs must not mix).
+inline CommonFlags& DeviceFlags() {
+  static CommonFlags flags;
+  return flags;
+}
+inline void SetDeviceFlags(const CommonFlags& flags) {
+  DeviceFlags() = flags;
+}
+
 inline DatabaseOptions DefaultDbOptions(logging::LogScheme scheme) {
   DatabaseOptions opts;
   opts.scheme = scheme;
@@ -34,6 +48,9 @@ inline DatabaseOptions DefaultDbOptions(logging::LogScheme scheme) {
   opts.num_loggers = 2;
   opts.epochs_per_batch = 4;
   opts.commits_per_epoch = 125;  // ~10 batches per 5000 transactions.
+  static std::atomic<int> env_counter{0};
+  ApplyDeviceFlags(DeviceFlags(), &opts,
+                   "env" + std::to_string(env_counter++));
   return opts;
 }
 
@@ -55,6 +72,7 @@ inline Env MakeTpccEnv(logging::LogScheme scheme,
   Env env;
   env.name = "TPC-C";
   env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
+  ExitIfUnrecoveredState(env.db.get());
   auto tpcc = std::make_shared<workload::Tpcc>(config);
   tpcc->Install(env.db.get());
   env.db->FinalizeSchema();
@@ -68,6 +86,7 @@ inline Env MakeSmallbankEnv(logging::LogScheme scheme) {
   Env env;
   env.name = "Smallbank";
   env.db = std::make_unique<Database>(DefaultDbOptions(scheme));
+  ExitIfUnrecoveredState(env.db.get());
   auto sb = std::make_shared<workload::Smallbank>(workload::SmallbankConfig{
       .num_accounts = 20000, .hotspot_fraction = 0.1, .hotspot_size = 100});
   sb->Install(env.db.get());

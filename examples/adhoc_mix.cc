@@ -8,6 +8,7 @@
 
 #include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/device_flags.h"
 #include "workload/adhoc.h"
 #include "workload/smallbank.h"
 
@@ -21,10 +22,15 @@ int main(int argc, char** argv) {
 
   std::printf("%-10s %14s %14s %14s\n", "adhoc %", "log MB",
               "recovery(s)", "verified");
+  int sweep_point = 0;
   for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     DatabaseOptions options;
     options.scheme = logging::LogScheme::kCommand;
+    // Disjoint directory per sweep point under --log-dir.
+    ApplyDeviceFlags(flags, &options,
+                     "adhoc" + std::to_string(sweep_point++));
     Database db(options);
+    ExitIfUnrecoveredState(&db);
     workload::Smallbank sb({.num_accounts = 5000,
                             .hotspot_fraction = 0.2,
                             .hotspot_size = 100});

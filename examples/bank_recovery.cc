@@ -7,6 +7,7 @@
 
 #include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/device_flags.h"
 #include "workload/bank.h"
 
 using namespace pacman;  // NOLINT: example brevity.
@@ -41,7 +42,11 @@ int main(int argc, char** argv) {
         recovery::Scheme::kClrP}) {
     DatabaseOptions options;
     options.scheme = FormatFor(scheme);
+    // With --device file each scheme gets its own directory (their log
+    // formats are incompatible; recovery loads every batch it finds).
+    ApplyDeviceFlags(flags, &options, recovery::SchemeName(scheme));
     Database db(options);
+    ExitIfUnrecoveredState(&db);
     workload::Bank bank({.num_users = 5000, .num_nations = 16,
                          .single_fraction = 0.1});
     bank.Install(&db);

@@ -12,6 +12,7 @@
 
 #include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/device_flags.h"
 #include "workload/bank.h"
 
 using namespace pacman;  // NOLINT: example brevity.
@@ -22,10 +23,14 @@ int main(int argc, char** argv) {
   defaults.seed = 2026;
   const CommonFlags flags = ParseCommonFlags(argc, argv, defaults);
 
-  // 1. A database with command logging on two simulated SSDs.
+  // 1. A database with command logging on two simulated SSDs — or, with
+  //    --device file --log-dir PATH, on two real directories whose logs
+  //    survive a process kill.
   DatabaseOptions options;
   options.scheme = logging::LogScheme::kCommand;
+  ApplyDeviceFlags(flags, &options);
   Database db(options);
+  ExitIfUnrecoveredState(&db);
 
   // 2. Schema + stored procedures + data (the paper's bank example,
   //    Figs. 2-5), installed through the facade.

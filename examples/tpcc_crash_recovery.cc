@@ -7,6 +7,7 @@
 #include "analysis/global_graph.h"
 #include "common/flags.h"
 #include "pacman/database.h"
+#include "pacman/device_flags.h"
 #include "workload/tpcc.h"
 
 using namespace pacman;  // NOLINT: example brevity.
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   const uint32_t threads = flags.threads;
   DatabaseOptions options;
   options.scheme = logging::LogScheme::kCommand;
+  ApplyDeviceFlags(flags, &options);
   Database db(options);
+  ExitIfUnrecoveredState(&db);
 
   workload::Tpcc tpcc({.num_warehouses = 4,
                        .districts_per_warehouse = 10,

@@ -3,13 +3,17 @@
 // (the library itself takes no flags). One parser instead of per-binary
 // strtol loops, so every binary accepts the same dimension flags:
 //
-//   --threads N   forward-processing worker count (>= 1)
-//   --txns N      transaction count (>= 1)
-//   --seed N      workload RNG seed
-//   --adhoc F     fraction of transactions tagged ad-hoc, in [0, 1]
+//   --threads N       forward-processing worker count (>= 1)
+//   --txns N          transaction count (>= 1)
+//   --seed N          workload RNG seed
+//   --adhoc F         fraction of transactions tagged ad-hoc, in [0, 1]
+//   --device sim|file durable backend: simulated SSDs (virtual-time
+//                     costs) or a real directory (survives process kill)
+//   --log-dir PATH    root directory for --device file
 //
-// Binaries pass their own defaults; absent flags keep them. Malformed
-// values and unknown --flags exit with a usage message on stderr.
+// Both "--flag value" and "--flag=value" forms are accepted. Binaries pass
+// their own defaults; absent flags keep them. Malformed values and unknown
+// --flags exit with a usage message on stderr.
 #ifndef PACMAN_COMMON_FLAGS_H_
 #define PACMAN_COMMON_FLAGS_H_
 
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace pacman {
 
@@ -25,17 +30,23 @@ struct CommonFlags {
   uint64_t txns = 0;  // 0 = "use the binary's default".
   uint64_t seed = 42;
   double adhoc = 0.0;
+  std::string device = "sim";  // "sim" or "file".
+  std::string log_dir;         // Required when device == "file".
+
+  bool use_file_device() const { return device == "file"; }
 };
 
 namespace flags_internal {
+
+inline const char kSupported[] =
+    "supported flags: --threads N  --txns N  --seed N  --adhoc F  "
+    "--device sim|file  --log-dir PATH\n";
 
 [[noreturn]] inline void Usage(const char* flag, const char* want,
                                const char* got) {
   std::fprintf(stderr, "error: %s requires %s, got %s\n", flag, want,
                got != nullptr ? got : "(nothing)");
-  std::fprintf(stderr,
-               "supported flags: --threads N  --txns N  --seed N  "
-               "--adhoc F\n");
+  std::fprintf(stderr, "%s", kSupported);
   std::exit(2);
 }
 
@@ -73,8 +84,19 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
                                     CommonFlags defaults = CommonFlags{}) {
   CommonFlags flags = defaults;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    // Split "--flag=value" so both spellings parse identically.
+    std::string arg_storage = argv[i];
+    const char* value_inline = nullptr;
+    const size_t eq = arg_storage.find('=');
+    if (arg_storage.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value_inline = argv[i] + eq + 1;
+      arg_storage.resize(eq);
+    }
+    const char* arg = arg_storage.c_str();
+    const char* next = value_inline != nullptr
+                           ? value_inline
+                           : (i + 1 < argc ? argv[i + 1] : nullptr);
+    const bool consumes_next = value_inline == nullptr;
     if (std::strcmp(arg, "--threads") == 0) {
       const uint64_t v = flags_internal::ParseU64(arg, next, /*min_value=*/1);
       if (v > 0xffffffffull) {
@@ -82,23 +104,34 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
                               next);
       }
       flags.threads = static_cast<uint32_t>(v);
-      ++i;
     } else if (std::strcmp(arg, "--txns") == 0) {
       flags.txns = flags_internal::ParseU64(arg, next, /*min_value=*/1);
-      ++i;
     } else if (std::strcmp(arg, "--seed") == 0) {
       flags.seed = flags_internal::ParseU64(arg, next, /*min_value=*/0);
-      ++i;
     } else if (std::strcmp(arg, "--adhoc") == 0) {
       flags.adhoc = flags_internal::ParseFraction(arg, next);
-      ++i;
+    } else if (std::strcmp(arg, "--device") == 0) {
+      if (next == nullptr || (std::strcmp(next, "sim") != 0 &&
+                              std::strcmp(next, "file") != 0)) {
+        flags_internal::Usage(arg, "\"sim\" or \"file\"", next);
+      }
+      flags.device = next;
+    } else if (std::strcmp(arg, "--log-dir") == 0) {
+      if (next == nullptr || next[0] == '\0') {
+        flags_internal::Usage(arg, "a directory path", next);
+      }
+      flags.log_dir = next;
     } else {
-      std::fprintf(stderr, "error: unknown flag %s\n", arg);
-      std::fprintf(stderr,
-                   "supported flags: --threads N  --txns N  --seed N  "
-                   "--adhoc F\n");
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      std::fprintf(stderr, "%s", flags_internal::kSupported);
       std::exit(2);
     }
+    if (consumes_next) ++i;
+  }
+  if (flags.use_file_device() && flags.log_dir.empty()) {
+    std::fprintf(stderr, "error: --device file requires --log-dir PATH\n");
+    std::fprintf(stderr, "%s", flags_internal::kSupported);
+    std::exit(2);
   }
   return flags;
 }

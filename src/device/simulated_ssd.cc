@@ -4,27 +4,40 @@
 
 namespace pacman::device {
 
-void SimulatedSsd::WriteFile(const std::string& name,
-                             std::vector<uint8_t> bytes) {
-  std::lock_guard<std::mutex> g(mu_);
-  total_bytes_written_ += bytes.size();
-  files_[name] = std::move(bytes);
+SimulatedSsd::SimulatedSsd(SsdConfig config) : config_(config) {
+  PACMAN_CHECK_MSG(config_.read_mbps > 0.0,
+                   "SsdConfig::read_mbps must be positive");
+  PACMAN_CHECK_MSG(config_.write_mbps > 0.0,
+                   "SsdConfig::write_mbps must be positive");
+  PACMAN_CHECK_MSG(config_.fsync_latency_s >= 0.0,
+                   "SsdConfig::fsync_latency_s must be non-negative");
 }
 
-void SimulatedSsd::AppendFile(const std::string& name,
-                              const std::vector<uint8_t>& bytes) {
+double SimulatedSsd::WriteFile(const std::string& name,
+                               std::vector<uint8_t> bytes) {
+  const double cost = WriteSeconds(bytes.size());
+  CountBytesWritten(bytes.size());
   std::lock_guard<std::mutex> g(mu_);
-  total_bytes_written_ += bytes.size();
+  files_[name] = std::move(bytes);
+  return cost;
+}
+
+double SimulatedSsd::AppendFile(const std::string& name,
+                                const std::vector<uint8_t>& bytes) {
+  const double cost = WriteSeconds(bytes.size());
+  CountBytesWritten(bytes.size());
+  std::lock_guard<std::mutex> g(mu_);
   auto& f = files_[name];
   f.insert(f.end(), bytes.begin(), bytes.end());
+  return cost;
 }
 
 Status SimulatedSsd::ReadFile(const std::string& name,
-                              const std::vector<uint8_t>** out) const {
+                              std::vector<uint8_t>* out) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no file: " + name);
-  *out = &it->second;
+  *out = it->second;
   return Status::Ok();
 }
 
@@ -53,6 +66,11 @@ size_t SimulatedSsd::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = files_.find(name);
   return it == files_.end() ? 0 : it->second.size();
+}
+
+double SimulatedSsd::SyncBarrier() {
+  CountFsync();
+  return FsyncSeconds();
 }
 
 }  // namespace pacman::device

@@ -17,9 +17,13 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "device/storage_device.h"
 
 namespace pacman::device {
 
+// Validated at SimulatedSsd construction: bandwidths must be positive and
+// the fsync latency non-negative, or virtual flush times turn into silent
+// nonsense (negative or infinite seconds).
 struct SsdConfig {
   double read_mbps = 550.0;       // Sequential read bandwidth.
   double write_mbps = 520.0;      // Sequential write bandwidth.
@@ -30,48 +34,40 @@ struct SsdConfig {
 };
 
 // Thread-safe in-memory file store + virtual-time cost model.
-class SimulatedSsd {
+class SimulatedSsd final : public StorageDevice {
  public:
-  explicit SimulatedSsd(SsdConfig config = SsdConfig::PaperSsd())
-      : config_(config) {}
-  PACMAN_DISALLOW_COPY_AND_MOVE(SimulatedSsd);
+  explicit SimulatedSsd(SsdConfig config = SsdConfig::PaperSsd());
 
   // --- Durable object store -------------------------------------------
-  void WriteFile(const std::string& name, std::vector<uint8_t> bytes);
-  void AppendFile(const std::string& name, const std::vector<uint8_t>& bytes);
-  // Returns kNotFound if absent.
+  double WriteFile(const std::string& name,
+                   std::vector<uint8_t> bytes) override;
+  double AppendFile(const std::string& name,
+                    const std::vector<uint8_t>& bytes) override;
   Status ReadFile(const std::string& name,
-                  const std::vector<uint8_t>** out) const;
-  bool Exists(const std::string& name) const;
-  std::vector<std::string> ListFiles(const std::string& prefix) const;
-  void RemoveAll();
-  size_t FileSize(const std::string& name) const;
+                  std::vector<uint8_t>* out) const override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> ListFiles(const std::string& prefix) const override;
+  void RemoveAll() override;
+  size_t FileSize(const std::string& name) const override;
+  double SyncBarrier() override;
+  // Nothing actually survives the process; the loggers keep their
+  // buffer-until-batch-close behavior and purely modeled flush costs.
+  bool IsPersistent() const override { return false; }
 
   // --- Virtual-time cost model ----------------------------------------
-  double WriteSeconds(size_t bytes) const {
+  double WriteSeconds(size_t bytes) const override {
     return static_cast<double>(bytes) / (config_.write_mbps * 1e6);
   }
-  double ReadSeconds(size_t bytes) const {
+  double ReadSeconds(size_t bytes) const override {
     return static_cast<double>(bytes) / (config_.read_mbps * 1e6);
   }
-  double FsyncSeconds() const { return config_.fsync_latency_s; }
+  double FsyncSeconds() const override { return config_.fsync_latency_s; }
   const SsdConfig& config() const { return config_; }
-
-  // --- Accounting -------------------------------------------------------
-  uint64_t total_bytes_written() const { return total_bytes_written_; }
-  uint64_t total_fsyncs() const { return total_fsyncs_; }
-  void CountFsync() { total_fsyncs_++; }
-  void ResetCounters() {
-    total_bytes_written_ = 0;
-    total_fsyncs_ = 0;
-  }
 
  private:
   SsdConfig config_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<uint8_t>> files_;
-  uint64_t total_bytes_written_ = 0;
-  uint64_t total_fsyncs_ = 0;
 };
 
 }  // namespace pacman::device

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Abstract durable-device API.
+//
+// Every consumer of persistent storage — loggers, the checkpointer, the
+// recovery planners and pacman::Database — talks to this interface instead
+// of a concrete backend. Two backends ship with the repo:
+//
+//   device::SimulatedSsd  in-memory object store + bandwidth/latency model
+//                         supplying deterministic *virtual-time* costs
+//                         (the paper's measurement substrate; Tables 1-3,
+//                         Figs. 11-20 are all reported against it);
+//   device::FileDevice    a real directory on the local filesystem (POSIX
+//                         writes + fsync), whose cost surface reports
+//                         *measured wall-clock* seconds — this is the
+//                         backend that makes logs survive a process kill.
+//
+// The cost surface (WriteSeconds / ReadSeconds / FsyncSeconds) is what the
+// recovery planners use to price IO tasks, so the same task graphs run
+// unchanged over either backend.
+#ifndef PACMAN_DEVICE_STORAGE_DEVICE_H_
+#define PACMAN_DEVICE_STORAGE_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace pacman::device {
+
+class StorageDevice {
+ public:
+  StorageDevice() = default;
+  virtual ~StorageDevice() = default;
+  PACMAN_DISALLOW_COPY_AND_MOVE(StorageDevice);
+
+  // --- Durable object store -------------------------------------------
+  // All operations return the device-time cost of the operation in
+  // seconds: modeled virtual time for simulated backends, measured
+  // wall-clock time for real ones. Callers that only care about the state
+  // change may ignore the return value.
+
+  // Replaces `name` with `bytes`. Real backends make this atomic (write to
+  // a temporary file, fsync, rename) and durable before returning.
+  virtual double WriteFile(const std::string& name,
+                           std::vector<uint8_t> bytes) = 0;
+  // Appends `bytes` to `name`, creating it if absent. Durability is
+  // deferred to the next SyncBarrier().
+  virtual double AppendFile(const std::string& name,
+                            const std::vector<uint8_t>& bytes) = 0;
+  // Reads the whole object into `*out`; kNotFound if absent.
+  virtual Status ReadFile(const std::string& name,
+                          std::vector<uint8_t>* out) const = 0;
+  virtual bool Exists(const std::string& name) const = 0;
+  // Names starting with `prefix`, lexicographically sorted. Callers that
+  // need numeric order must parse the names (LogStore::ParseBatchFileName).
+  virtual std::vector<std::string> ListFiles(
+      const std::string& prefix) const = 0;
+  virtual void RemoveAll() = 0;
+  // Size in bytes, or 0 when absent.
+  virtual size_t FileSize(const std::string& name) const = 0;
+
+  // Durability barrier (the group-commit fsync point): when it returns,
+  // every preceding write on this device is durable. Counts one fsync.
+  virtual double SyncBarrier() = 0;
+
+  // True when the backend is a real durable medium: the loggers must then
+  // persist the in-progress batch image at every group commit instead of
+  // buffering it until the batch closes, so a killed process loses nothing
+  // past the last flush.
+  virtual bool IsPersistent() const = 0;
+
+  // --- Cost surface ----------------------------------------------------
+  // Simulated backends: the configured bandwidth/latency model (virtual
+  // seconds). Real backends: estimates from measured wall-clock samples.
+  virtual double WriteSeconds(size_t bytes) const = 0;
+  virtual double ReadSeconds(size_t bytes) const = 0;
+  virtual double FsyncSeconds() const = 0;
+
+  // --- Accounting -------------------------------------------------------
+  uint64_t total_bytes_written() const {
+    return total_bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_fsyncs() const {
+    return total_fsyncs_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    total_bytes_written_.store(0, std::memory_order_relaxed);
+    total_fsyncs_.store(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  void CountBytesWritten(uint64_t n) {
+    total_bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountFsync() { total_fsyncs_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> total_bytes_written_{0};
+  std::atomic<uint64_t> total_fsyncs_{0};
+};
+
+// Backend selector for DatabaseOptions and the --device flag.
+enum class DeviceKind {
+  kSimulatedSsd,  // In-memory store + virtual-time cost model (default).
+  kFile,          // Real directory, POSIX writes + fsync, wall-clock costs.
+};
+
+// Constructs the backend for device index `i` (a database stripes its
+// loggers and checkpoints over several devices). Lets tests and embedders
+// plug in custom backends without touching the engine.
+using DeviceFactory =
+    std::function<std::unique_ptr<StorageDevice>(uint32_t index)>;
+
+}  // namespace pacman::device
+
+#endif  // PACMAN_DEVICE_STORAGE_DEVICE_H_

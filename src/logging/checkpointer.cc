@@ -21,7 +21,7 @@ std::string Checkpointer::StripeFileName(uint64_t ckpt_id,
 
 CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
                                             uint32_t files_per_ssd) {
-  const uint32_t num_ssds = static_cast<uint32_t>(ssds_.size());
+  const uint32_t num_ssds = static_cast<uint32_t>(devices_.size());
   const uint32_t num_stripes = num_ssds * files_per_ssd;
   std::vector<Serializer> stripes(num_stripes);
 
@@ -54,7 +54,7 @@ CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
       std::vector<uint8_t> bytes =
           stripes[d * files_per_ssd + f].Release();
       meta.total_bytes += bytes.size();
-      ssds_[d]->WriteFile(StripeFileName(id, d, f), std::move(bytes));
+      devices_[d]->WriteFile(StripeFileName(id, d, f), std::move(bytes));
     }
   }
 
@@ -64,15 +64,15 @@ CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
   ms.PutU32(meta.files_per_ssd);
   ms.PutU32(meta.num_ssds);
   ms.PutU64(meta.total_bytes);
-  ssds_[0]->WriteFile(kMetaFile, ms.Release());
+  devices_[0]->WriteFile(kMetaFile, ms.Release());
   return meta;
 }
 
 Status Checkpointer::ReadLatestMeta(CheckpointMeta* out) const {
-  const std::vector<uint8_t>* bytes = nullptr;
-  Status s = ssds_[0]->ReadFile(kMetaFile, &bytes);
+  std::vector<uint8_t> bytes;
+  Status s = devices_[0]->ReadFile(kMetaFile, &bytes);
   if (!s.ok()) return s;
-  Deserializer in(*bytes);
+  Deserializer in(bytes);
   s = in.GetU64(&out->id);
   if (!s.ok()) return s;
   s = in.GetU64(&out->ts);
@@ -87,13 +87,13 @@ Status Checkpointer::ReadLatestMeta(CheckpointMeta* out) const {
 Status Checkpointer::ReadStripe(const CheckpointMeta& meta,
                                 uint32_t ssd_index, uint32_t file_index,
                                 CheckpointStripe* out) const {
-  const std::vector<uint8_t>* bytes = nullptr;
-  Status s = ssds_[ssd_index]->ReadFile(
+  std::vector<uint8_t> bytes;
+  Status s = devices_[ssd_index]->ReadFile(
       StripeFileName(meta.id, ssd_index, file_index), &bytes);
   if (!s.ok()) return s;
   out->tuples.clear();
-  out->file_bytes = bytes->size();
-  Deserializer in(*bytes);
+  out->file_bytes = bytes.size();
+  Deserializer in(bytes);
   while (!in.AtEnd()) {
     WriteImage img;
     s = in.GetU32(&img.table);

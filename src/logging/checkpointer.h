@@ -15,7 +15,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
-#include "device/simulated_ssd.h"
+#include "device/storage_device.h"
 #include "logging/log_record.h"
 #include "storage/catalog.h"
 
@@ -38,8 +38,8 @@ struct CheckpointStripe {
 class Checkpointer {
  public:
   Checkpointer(storage::Catalog* catalog, LogScheme scheme,
-               std::vector<device::SimulatedSsd*> ssds)
-      : catalog_(catalog), scheme_(scheme), ssds_(std::move(ssds)) {}
+               std::vector<device::StorageDevice*> devices)
+      : catalog_(catalog), scheme_(scheme), devices_(std::move(devices)) {}
 
   // Writes a consistent snapshot at `ts`, striped over `files_per_ssd`
   // files on each device, and persists the metadata. Returns the meta
@@ -60,7 +60,7 @@ class Checkpointer {
  private:
   storage::Catalog* catalog_;
   LogScheme scheme_;
-  std::vector<device::SimulatedSsd*> ssds_;
+  std::vector<device::StorageDevice*> devices_;
 };
 
 }  // namespace pacman::logging

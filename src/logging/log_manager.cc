@@ -5,12 +5,12 @@
 
 namespace pacman::logging {
 
-Logger::Logger(uint32_t id, LogScheme scheme, device::SimulatedSsd* ssd,
-               uint32_t epochs_per_batch)
-    : id_(id), scheme_(scheme), ssd_(ssd),
-      epochs_per_batch_(epochs_per_batch) {
+Logger::Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
+               uint32_t epochs_per_batch, uint64_t start_seq)
+    : id_(id), scheme_(scheme), device_(device),
+      epochs_per_batch_(epochs_per_batch), batch_seq_(start_seq) {
   current_.logger_id = id_;
-  current_.seq = 0;
+  current_.seq = batch_seq_;
 }
 
 void Logger::Append(LogRecord record) {
@@ -23,18 +23,48 @@ void Logger::Append(LogRecord record) {
   SerializeRecord(scheme_, record, &s);
   unflushed_bytes_ += s.size();
   current_.records.push_back(std::move(record));
+  image_dirty_ = true;
 }
 
 FlushCost Logger::FlushEpoch(Epoch epoch) {
   std::lock_guard<std::mutex> g(mu_);
   FlushCost cost;
   cost.bytes = unflushed_bytes_;
-  cost.seconds = ssd_->WriteSeconds(unflushed_bytes_) + ssd_->FsyncSeconds();
-  ssd_->CountFsync();
+  current_.last_epoch = epoch;
+  // Group-commit membership defines the durable epoch: the records this
+  // flush persists are stamped with the flushing epoch, so on-device
+  // "record.epoch <= pepoch" means exactly "persisted by a completed
+  // flush". Each flush drains a prefix-consistent cut of the commit order
+  // (see DrainWorkerBuffers), so recovery bounded by pepoch replays a
+  // prefix even when a straggler commit slipped past a drain — the race
+  // the FlushAll comment describes.
+  PACMAN_DCHECK(unflushed_records_ <= current_.records.size());
+  for (size_t i = current_.records.size() - unflushed_records_;
+       i < current_.records.size(); ++i) {
+    current_.records[i].epoch = epoch;
+  }
+  if (device_->IsPersistent()) {
+    // Group commit against a real medium: atomically rewrite the
+    // in-progress batch image and barrier, so a process killed after this
+    // flush loses nothing. The cost is the measured wall time.
+    double seconds = 0.0;
+    if (unflushed_bytes_ > 0) {
+      seconds += device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
+                                    LogStore::SerializeBatch(scheme_, current_));
+      image_dirty_ = false;
+    }
+    seconds += device_->SyncBarrier();
+    cost.seconds = seconds;
+  } else {
+    // Simulated medium: the batch stays buffered until it closes; the
+    // group-commit cost is the modeled write + fsync virtual time.
+    cost.seconds =
+        device_->WriteSeconds(unflushed_bytes_) + device_->FsyncSeconds();
+    device_->SyncBarrier();
+  }
   bytes_logged_ += unflushed_bytes_;
   unflushed_bytes_ = 0;
   unflushed_records_ = 0;
-  current_.last_epoch = epoch;
   if (++epochs_in_batch_ >= epochs_per_batch_) {
     CloseBatch();
   }
@@ -44,33 +74,61 @@ FlushCost Logger::FlushEpoch(Epoch epoch) {
 void Logger::CloseBatch() {
   // Called with mu_ held.
   if (!current_.records.empty()) {
-    std::vector<uint8_t> bytes = LogStore::SerializeBatch(scheme_, current_);
-    ssd_->WriteFile(LogStore::BatchFileName(id_, current_.seq), std::move(bytes));
+    // A persistent device whose image is clean already holds exactly these
+    // bytes from the flush that triggered the close — skip the redundant
+    // atomic rewrite (and its fsync). Simulated devices only ever write
+    // here.
+    if (!device_->IsPersistent() || image_dirty_) {
+      std::vector<uint8_t> bytes = LogStore::SerializeBatch(scheme_, current_);
+      device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
+                         std::move(bytes));
+    }
     batch_seq_++;
+    batches_written_++;
   }
   current_ = LogBatch{};
   current_.logger_id = id_;
   current_.seq = batch_seq_;
   epochs_in_batch_ = 0;
+  image_dirty_ = false;
 }
 
 void Logger::Finalize() {
   std::lock_guard<std::mutex> g(mu_);
   bytes_logged_ += unflushed_bytes_;
   unflushed_bytes_ = 0;
+  unflushed_records_ = 0;
   CloseBatch();
 }
 
 LogManager::LogManager(LogScheme scheme,
-                       std::vector<device::SimulatedSsd*> ssds,
+                       std::vector<device::StorageDevice*> devices,
                        uint32_t num_loggers, uint32_t epochs_per_batch,
                        txn::EpochManager* epochs)
-    : scheme_(scheme), ssds_(std::move(ssds)), epochs_(epochs) {
-  PACMAN_CHECK(scheme == LogScheme::kOff || !ssds_.empty());
+    : scheme_(scheme), devices_(std::move(devices)), epochs_(epochs) {
+  PACMAN_CHECK(scheme == LogScheme::kOff || !devices_.empty());
   if (scheme != LogScheme::kOff) {
+    // Resume every logger at one common sequence number past the largest
+    // batch any previous process persisted, on any device and from any
+    // logger. Global reload order is (seq, logger) and the loggers flush
+    // in lockstep, so the streams must stay seq-aligned: resuming
+    // per-logger could slot one logger's new batches into a smaller seq
+    // than another's old ones and interleave replay out of commit order.
+    // Fresh devices yield start_seq 0.
+    uint64_t start_seq = 0;
+    for (device::StorageDevice* d : devices_) {
+      for (const std::string& name : d->ListFiles("log_")) {
+        uint32_t logger = 0;
+        uint64_t seq = 0;
+        if (LogStore::ParseBatchFileName(name, &logger, &seq)) {
+          start_seq = std::max(start_seq, seq + 1);
+        }
+      }
+    }
     for (uint32_t i = 0; i < num_loggers; ++i) {
-      loggers_.push_back(std::make_unique<Logger>(
-          i, scheme, ssds_[i % ssds_.size()], epochs_per_batch));
+      loggers_.push_back(std::make_unique<Logger>(i, scheme,
+                                                  devices_[i % devices_.size()],
+                                                  epochs_per_batch, start_seq));
     }
   }
 }
@@ -201,11 +259,14 @@ FlushCost LogManager::FlushAll(Epoch epoch) {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
   // A commit that read epoch `epoch` concurrently with this flush may
   // stage its record just after the drain cut; it becomes durable at the
-  // next flush. The pepoch watermark can therefore run one epoch ahead of
-  // a straggler record, which is safe here because every crash goes
-  // through Database::Crash(), whose final AdvanceEpoch drains and
-  // persists all staged records before the log streams close. (A real
-  // kill-crash port would need Silo-style per-worker epoch fences.)
+  // next flush. That straggler is safe even across a real process kill:
+  // Logger::FlushEpoch re-stamps records with the epoch of the flush that
+  // actually persisted them, so the straggler's on-device epoch will be
+  // `epoch + 1` — beyond the pepoch watermark this flush publishes — and
+  // a recovery that runs before the next flush completes excludes it,
+  // landing on the prefix-consistent drain cut. (What a kill in that
+  // window can still lose is the straggler itself; results are released
+  // at commit time rather than fenced on pepoch — see README.)
   DrainWorkerBuffers();
   FlushCost max_cost;
   for (auto& logger : loggers_) {
@@ -218,7 +279,7 @@ FlushCost LogManager::FlushAll(Epoch epoch) {
   if (!loggers_.empty()) {
     Serializer s;
     s.PutU64(epochs_->PersistentEpoch());
-    ssds_[0]->WriteFile(LogStore::PepochFileName(), s.Release());
+    devices_[0]->WriteFile(LogStore::PepochFileName(), s.Release());
   }
   return max_cost;
 }

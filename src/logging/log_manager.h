@@ -32,7 +32,7 @@
 
 #include "common/macros.h"
 #include "common/serializer.h"
-#include "device/simulated_ssd.h"
+#include "device/storage_device.h"
 #include "logging/log_record.h"
 #include "logging/log_store.h"
 #include "storage/catalog.h"
@@ -49,22 +49,28 @@ struct FlushCost {
 
 class Logger {
  public:
-  Logger(uint32_t id, LogScheme scheme, device::SimulatedSsd* ssd,
-         uint32_t epochs_per_batch);
+  // `start_seq` resumes this logger's batch stream past the batches an
+  // earlier process left on a persistent device (0 on a fresh device).
+  Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
+         uint32_t epochs_per_batch, uint64_t start_seq = 0);
   PACMAN_DISALLOW_COPY_AND_MOVE(Logger);
 
   // Appends one record to the current epoch buffer (thread-safe).
   void Append(LogRecord record);
 
   // Group commit: flushes the current epoch buffer to the batch file and
-  // fsyncs. Closes the batch file every epochs_per_batch epochs.
+  // fsyncs. On a persistent device the in-progress batch image is
+  // atomically rewritten and synced, so everything flushed survives a
+  // process kill; on a simulated device the batch stays buffered until it
+  // closes and the cost is purely modeled. Closes the batch file every
+  // epochs_per_batch epochs.
   FlushCost FlushEpoch(Epoch epoch);
 
   // Closes the in-progress batch (on shutdown / crash boundary).
   void Finalize();
 
   uint64_t bytes_logged() const { return bytes_logged_; }
-  uint64_t batches_written() const { return batch_seq_; }
+  uint64_t batches_written() const { return batches_written_; }
   uint32_t id() const { return id_; }
 
  private:
@@ -72,21 +78,27 @@ class Logger {
 
   const uint32_t id_;
   const LogScheme scheme_;
-  device::SimulatedSsd* ssd_;
+  device::StorageDevice* device_;
   const uint32_t epochs_per_batch_;
 
   std::mutex mu_;
   LogBatch current_;
   uint64_t batch_seq_ = 0;
+  uint64_t batches_written_ = 0;
   uint32_t epochs_in_batch_ = 0;
   uint64_t bytes_logged_ = 0;
   size_t unflushed_records_ = 0;
   size_t unflushed_bytes_ = 0;
+  // Records appended since the batch image was last persisted; lets batch
+  // close skip rewriting an identical image on persistent devices.
+  bool image_dirty_ = false;
 };
 
 class LogManager {
  public:
-  LogManager(LogScheme scheme, std::vector<device::SimulatedSsd*> ssds,
+  // Each logger's batch stream resumes past any batches already present
+  // on its device (persistent devices reopened across a process restart).
+  LogManager(LogScheme scheme, std::vector<device::StorageDevice*> devices,
              uint32_t num_loggers, uint32_t epochs_per_batch,
              txn::EpochManager* epochs);
   ~LogManager();
@@ -122,7 +134,9 @@ class LogManager {
   LogScheme scheme() const { return scheme_; }
   uint64_t total_bytes() const;
   size_t num_loggers() const { return loggers_.size(); }
-  const std::vector<device::SimulatedSsd*>& ssds() const { return ssds_; }
+  const std::vector<device::StorageDevice*>& devices() const {
+    return devices_;
+  }
 
   // Upper bound on worker log-buffer slots (sessions + executor workers
   // over a database's lifetime): kMaxWorkerBufferChunks chunks of
@@ -149,7 +163,7 @@ class LogManager {
   void RouteToLogger(LogRecord record);
 
   const LogScheme scheme_;
-  std::vector<device::SimulatedSsd*> ssds_;
+  std::vector<device::StorageDevice*> devices_;
   txn::EpochManager* epochs_;
   std::vector<std::unique_ptr<Logger>> loggers_;
 

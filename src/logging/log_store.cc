@@ -1,6 +1,7 @@
 #include "logging/log_store.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/macros.h"
 #include "common/serializer.h"
@@ -9,13 +10,47 @@ namespace pacman::logging {
 
 namespace {
 constexpr uint32_t kBatchMagic = 0x50414342;  // "PACB"
+
+// Parses a decimal run starting at `pos`; advances `pos` past it.
+bool ParseDigits(const std::string& s, size_t* pos, uint64_t* out) {
+  if (*pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    return false;
+  }
+  uint64_t v = 0;
+  while (*pos < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    v = v * 10 + static_cast<uint64_t>(s[*pos] - '0');
+    ++(*pos);
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 std::string LogStore::BatchFileName(uint32_t logger_id, uint64_t seq) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "log_%02u_%08llu.batch", logger_id,
+  std::snprintf(buf, sizeof(buf), "log_%02u_%012llu.batch", logger_id,
                 static_cast<unsigned long long>(seq));
   return buf;
+}
+
+bool LogStore::ParseBatchFileName(const std::string& name,
+                                  uint32_t* logger_id, uint64_t* seq) {
+  constexpr char kPrefix[] = "log_";
+  constexpr char kSuffix[] = ".batch";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  size_t pos = sizeof(kPrefix) - 1;
+  uint64_t logger = 0;
+  if (!ParseDigits(name, &pos, &logger)) return false;
+  if (pos >= name.size() || name[pos] != '_') return false;
+  ++pos;
+  uint64_t s = 0;
+  if (!ParseDigits(name, &pos, &s)) return false;
+  if (name.compare(pos, std::string::npos, kSuffix) != 0) return false;
+  *logger_id = static_cast<uint32_t>(logger);
+  *seq = s;
+  return true;
 }
 
 std::vector<uint8_t> LogStore::SerializeBatch(LogScheme scheme,
@@ -49,7 +84,7 @@ Status LogStore::DeserializeBatch(LogScheme scheme,
   if (!s.ok()) return s;
   s = in.GetU64(&out->last_epoch);
   if (!s.ok()) return s;
-  uint32_t n;
+  uint32_t n = 0;
   s = in.GetU32(&n);
   if (!s.ok()) return s;
   out->records.resize(n);
@@ -62,25 +97,80 @@ Status LogStore::DeserializeBatch(LogScheme scheme,
 }
 
 Status LogStore::LoadAllBatches(
-    LogScheme scheme, const std::vector<device::SimulatedSsd*>& ssds,
+    LogScheme scheme, const std::vector<device::StorageDevice*>& devices,
     std::vector<LogBatch>* out) {
   out->clear();
-  for (device::SimulatedSsd* ssd : ssds) {
-    for (const std::string& name : ssd->ListFiles("log_")) {
-      const std::vector<uint8_t>* bytes = nullptr;
-      Status s = ssd->ReadFile(name, &bytes);
+  for (device::StorageDevice* device : devices) {
+    // Order the names numerically by (seq, logger) before reading. The
+    // final sort below orders by the header fields anyway, but robust
+    // on-device ordering keeps the read schedule deterministic even if a
+    // directory mixes padding widths.
+    struct NamedBatch {
+      uint64_t seq;
+      uint32_t logger;
+      std::string name;
+    };
+    std::vector<NamedBatch> names;
+    for (const std::string& name : device->ListFiles("log_")) {
+      uint32_t logger = 0;
+      uint64_t seq = 0;
+      if (!ParseBatchFileName(name, &logger, &seq)) continue;
+      names.push_back({seq, logger, name});
+    }
+    std::sort(names.begin(), names.end(),
+              [](const NamedBatch& a, const NamedBatch& b) {
+                if (a.seq != b.seq) return a.seq < b.seq;
+                return a.logger < b.logger;
+              });
+    for (const NamedBatch& nb : names) {
+      std::vector<uint8_t> bytes;
+      Status s = device->ReadFile(nb.name, &bytes);
       if (!s.ok()) return s;
       LogBatch batch;
-      s = DeserializeBatch(scheme, *bytes, &batch);
+      s = DeserializeBatch(scheme, bytes, &batch);
       if (!s.ok()) return s;
       out->push_back(std::move(batch));
     }
   }
+  // Global reload order, by the authoritative header fields.
   std::sort(out->begin(), out->end(),
             [](const LogBatch& a, const LogBatch& b) {
               if (a.seq != b.seq) return a.seq < b.seq;
               return a.logger_id < b.logger_id;
             });
+  return Status::Ok();
+}
+
+Status LogStore::TruncateBeyondWatermark(
+    LogScheme scheme, const std::vector<device::StorageDevice*>& devices,
+    Epoch pepoch) {
+  for (device::StorageDevice* device : devices) {
+    if (!device->IsPersistent()) continue;
+    for (const std::string& name : device->ListFiles("log_")) {
+      uint32_t logger = 0;
+      uint64_t seq = 0;
+      if (!ParseBatchFileName(name, &logger, &seq)) continue;
+      std::vector<uint8_t> bytes;
+      Status s = device->ReadFile(name, &bytes);
+      if (!s.ok()) return s;
+      LogBatch batch;
+      s = DeserializeBatch(scheme, bytes, &batch);
+      if (!s.ok()) return s;
+      bool dirty = false;
+      std::vector<LogRecord> kept;
+      kept.reserve(batch.records.size());
+      for (LogRecord& r : batch.records) {
+        if (r.epoch <= pepoch) {
+          kept.push_back(std::move(r));
+        } else {
+          dirty = true;
+        }
+      }
+      if (!dirty) continue;
+      batch.records = std::move(kept);
+      device->WriteFile(name, SerializeBatch(scheme, batch));
+    }
+  }
   return Status::Ok();
 }
 

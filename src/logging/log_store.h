@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "device/simulated_ssd.h"
+#include "device/storage_device.h"
 #include "logging/log_record.h"
 
 namespace pacman::logging {
@@ -29,7 +29,16 @@ struct LogBatch {
 // File naming and batch (de)serialization.
 class LogStore {
  public:
+  // "log_<logger>_<seq>.batch" with the sequence number zero-padded wide
+  // enough (12 digits) that lexicographic device listings match numeric
+  // reload order for any realistic stream length.
   static std::string BatchFileName(uint32_t logger_id, uint64_t seq);
+  // Parses a batch file name back into (logger_id, seq). Accepts any digit
+  // widths, so listings that mix the historical 8-digit padding with the
+  // current 12-digit form (a directory written by two repo versions) still
+  // reload without migration. Returns false for non-batch names.
+  static bool ParseBatchFileName(const std::string& name, uint32_t* logger_id,
+                                 uint64_t* seq);
   static std::string PepochFileName() { return "pepoch.log"; }
 
   // Serializes a full batch file (header + records).
@@ -41,14 +50,27 @@ class LogStore {
                                  const std::vector<uint8_t>& bytes,
                                  LogBatch* out);
 
-  // Loads and merges the batch streams of all loggers from their SSDs into
-  // a single sequence ordered by (seq, logger), i.e., global reload order.
-  // Interleaves loggers within each seq so commit order is restored when
-  // batches' records are merged by commit_ts downstream.
+  // Loads and merges the batch streams of all loggers from their devices
+  // into a single sequence ordered by (seq, logger), i.e., global reload
+  // order. Interleaves loggers within each seq so commit order is restored
+  // when batches' records are merged by commit_ts downstream. File names
+  // are ordered numerically (ParseBatchFileName), never lexicographically.
   static Status LoadAllBatches(
       LogScheme scheme,
-      const std::vector<device::SimulatedSsd*>& ssds,
+      const std::vector<device::StorageDevice*>& devices,
       std::vector<LogBatch>* out);
+
+  // Rewrites batch files on *persistent* devices so no record beyond the
+  // pepoch watermark survives. A process killed mid-FlushAll can leave
+  // "zombie" records (some loggers flushed, the watermark write never
+  // happened); recovery excludes them from replay, and this erases them
+  // so they cannot become replayable once the restarted process's epoch
+  // counter catches up with their stamps. Files are rewritten in place
+  // (kept even when emptied, preserving the sequence high-water mark);
+  // simulated devices are left untouched.
+  static Status TruncateBeyondWatermark(
+      LogScheme scheme, const std::vector<device::StorageDevice*>& devices,
+      Epoch pepoch);
 };
 
 }  // namespace pacman::logging

@@ -26,19 +26,48 @@ Database::Database(DatabaseOptions options)
                    "DatabaseOptions::epochs_per_batch must be >= 1");
   PACMAN_CHECK_MSG(options_.ckpt_files_per_ssd >= 1,
                    "DatabaseOptions::ckpt_files_per_ssd must be >= 1");
+  PACMAN_CHECK_MSG(
+      options_.device != device::DeviceKind::kFile ||
+          !options_.log_dir.empty(),
+      "DatabaseOptions::log_dir is required for the file device");
   for (uint32_t d = 0; d < options_.num_ssds; ++d) {
-    ssds_.push_back(
-        std::make_unique<device::SimulatedSsd>(options_.ssd_config));
+    if (options_.device_factory) {
+      devices_.push_back(options_.device_factory(d));
+      PACMAN_CHECK_MSG(devices_.back() != nullptr,
+                       "DatabaseOptions::device_factory returned null");
+    } else if (options_.device == device::DeviceKind::kFile) {
+      device::FileDeviceConfig cfg;
+      cfg.dir = options_.log_dir + "/dev" + std::to_string(d);
+      devices_.push_back(std::make_unique<device::FileDevice>(cfg));
+    } else {
+      devices_.push_back(
+          std::make_unique<device::SimulatedSsd>(options_.ssd_config));
+    }
   }
   log_manager_ = std::make_unique<logging::LogManager>(
-      options_.scheme, ssd_ptrs(), options_.num_loggers,
+      options_.scheme, device_ptrs(), options_.num_loggers,
       options_.epochs_per_batch, &epochs_);
   checkpointer_ = std::make_unique<logging::Checkpointer>(
-      &catalog_, options_.scheme, ssd_ptrs());
+      &catalog_, options_.scheme, device_ptrs());
   txn_manager_.set_commit_hook(
       [this](const txn::Transaction& t, const txn::CommitInfo& info) {
         log_manager_->OnCommit(t, info);
       });
+  // Reopening devices that already hold a durable image (a persistent
+  // log_dir after a process kill) starts the database in the crashed
+  // state: the caller installs schema + procedures (not data; the
+  // checkpoint carries it), runs FinalizeSchema() and then Recover().
+  logging::CheckpointMeta boot_meta;
+  bool has_state =
+      devices_[0]->Exists(logging::LogStore::PepochFileName()) ||
+      checkpointer_->ReadLatestMeta(&boot_meta).ok();
+  for (const auto& d : devices_) {
+    has_state = has_state || !d->ListFiles("log_").empty();
+  }
+  if (has_state) {
+    opened_existing_state_ = true;
+    crashed_.store(true, std::memory_order_release);
+  }
 }
 
 Database::~Database() = default;
@@ -93,10 +122,10 @@ void Database::ReleaseWorkerSlot(WorkerId slot) {
   free_worker_slots_.push_back(slot);
 }
 
-std::vector<device::SimulatedSsd*> Database::ssd_ptrs() {
-  std::vector<device::SimulatedSsd*> out;
-  out.reserve(ssds_.size());
-  for (auto& s : ssds_) out.push_back(s.get());
+std::vector<device::StorageDevice*> Database::device_ptrs() {
+  std::vector<device::StorageDevice*> out;
+  out.reserve(devices_.size());
+  for (auto& s : devices_) out.push_back(s.get());
   return out;
 }
 
@@ -219,12 +248,23 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
 
   FullRecoveryResult result;
   const uint32_t num_ssds = options_.num_ssds;
-  std::vector<device::SimulatedSsd*> devices = ssd_ptrs();
+  std::vector<device::StorageDevice*> devices = device_ptrs();
 
   // --- Stage 1: checkpoint recovery -------------------------------------
   logging::CheckpointMeta meta;
   Status s = checkpointer_->ReadLatestMeta(&meta);
-  PACMAN_CHECK(s.ok());
+  // Replaying from an empty checkpoint would silently drop the bulk-loaded
+  // initial data (LoadRow is not logged), so a missing checkpoint is a
+  // deployment error, named rather than recovered around.
+  PACMAN_CHECK_MSG(s.ok(),
+                   "no checkpoint on the devices — recovery needs at least "
+                   "one TakeCheckpoint() (bulk-loaded data is not logged)");
+  // A reopened log_dir must be recovered under the layout that wrote it:
+  // the checkpoint stripes (and the logger->device striping) index the
+  // device vector.
+  PACMAN_CHECK_MSG(meta.num_ssds == devices.size(),
+                   "checkpoint on the devices was written with a different "
+                   "num_ssds than this DatabaseOptions");
   {
     sim::TaskGraph graph;
     recovery::RecoveryCounters counters;
@@ -250,14 +290,28 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   recovery::RecoveryOptions log_opts = opts;
   log_opts.checkpoint_ts = meta.ts;
   // Replay only up to the pepoch watermark: results past it were never
-  // released to clients (Appendix A). Absent file => replay everything.
-  Epoch pepoch = kMaxTimestamp;
+  // released to clients (Appendix A). When the watermark file is absent
+  // the default depends on the medium. On a persistent device the file
+  // is written at the end of every completed FlushAll, so its absence
+  // means the first flush-all never finished — any batch images present
+  // are a per-logger-striped, non-prefix subset of the commit order and
+  // must not be replayed (pepoch = 0). On a simulated device nothing
+  // predates this process and the streams were closed by Crash(), so the
+  // legacy "replay everything" semantics stand.
+  Epoch pepoch = devices[0]->IsPersistent() ? 0 : kMaxTimestamp;
   {
-    const std::vector<uint8_t>* pbytes = nullptr;
-    if (devices[0]->ReadFile(logging::LogStore::PepochFileName(), &pbytes)
-            .ok()) {
-      Deserializer in(*pbytes);
+    std::vector<uint8_t> pbytes;
+    Status ps =
+        devices[0]->ReadFile(logging::LogStore::PepochFileName(), &pbytes);
+    if (ps.ok()) {
+      Deserializer in(pbytes);
       PACMAN_CHECK(in.GetU64(&pepoch).ok());
+    } else {
+      // Only genuine absence may fall back to the default: acting on a
+      // failed read as if the watermark never existed would replay (sim)
+      // or truncate (file) the wrong set of records.
+      PACMAN_CHECK_MSG(ps.code() == StatusCode::kNotFound,
+                       "cannot read the pepoch watermark file");
     }
   }
   std::vector<recovery::GlobalBatch> batches =
@@ -306,6 +360,40 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   }
 
   txn_manager_.ResetAfterRecovery(max_cts);
+  // Continuity across a process restart: commit timestamps resume past
+  // the replayed log (above), the epoch counter resumes past the epoch
+  // floor (else the pepoch watermark would regress below already-durable
+  // records and a later recovery would drop them), and the next
+  // checkpoint gets a fresh id. All three are no-ops for an in-process
+  // Crash()/Recover() cycle. The floor is the durable pepoch watermark;
+  // if the watermark file itself never made it to the device (kill before
+  // the first FlushAll finished), every loaded record was replayed, so
+  // the max replayed epoch serves instead.
+  Epoch epoch_floor = 0;
+  bool have_floor = pepoch != kMaxTimestamp;
+  if (have_floor) epoch_floor = pepoch;
+  bool zombies = false;
+  for (const auto& b : raw_batches) {
+    for (const auto& r : b.records) {
+      if (!have_floor) epoch_floor = std::max(epoch_floor, r.epoch);
+      zombies = zombies || (have_floor && r.epoch > epoch_floor);
+    }
+  }
+  if (have_floor || !raw_batches.empty()) {
+    epochs_.ResetAfterRecovery(epoch_floor);
+  }
+  if (zombies) {
+    // Erase beyond-watermark "zombie" records (a kill mid-FlushAll can
+    // persist some loggers' images without the watermark) from persistent
+    // devices: excluded from this replay, they must not become replayable
+    // once the new epoch counter catches up with their stamps. Gated on
+    // the in-memory scan above so the common zombie-free recovery never
+    // re-reads the log directory.
+    PACMAN_CHECK(logging::LogStore::TruncateBeyondWatermark(
+                     options_.scheme, devices, epoch_floor)
+                     .ok());
+  }
+  next_ckpt_id_ = std::max(next_ckpt_id_, meta.id + 1);
   crashed_.store(false, std::memory_order_release);
   return result;
 }

@@ -19,6 +19,12 @@
 //   ... f.Get() ... db.StopWorkers();
 //   db.Crash();                     // lose main memory
 //   auto result = db.Recover(recovery::Scheme::kClrP, recovery_options);
+//
+// With DatabaseOptions::device = DeviceKind::kFile the durable state lives
+// in real directories under options.log_dir and survives a process kill: a
+// Database constructed over an existing log_dir starts crashed
+// (opened_existing_state()); reinstall schema + procedures, FinalizeSchema,
+// then Recover — see README "Persistence backends".
 #ifndef PACMAN_PACMAN_DATABASE_H_
 #define PACMAN_PACMAN_DATABASE_H_
 
@@ -30,7 +36,9 @@
 #include "analysis/chopping.h"
 #include "analysis/global_graph.h"
 #include "analysis/local_graph.h"
+#include "device/file_device.h"
 #include "device/simulated_ssd.h"
+#include "device/storage_device.h"
 #include "logging/checkpointer.h"
 #include "logging/log_manager.h"
 #include "proc/interpreter.h"
@@ -46,13 +54,22 @@
 namespace pacman {
 
 // Validated at Database construction: num_ssds, num_loggers,
-// epochs_per_batch and ckpt_files_per_ssd must all be >= 1 (a clear
-// constructor-time error instead of a failure deep in the logging
-// pipeline).
+// epochs_per_batch and ckpt_files_per_ssd must all be >= 1, and a file
+// device needs a log_dir (a clear constructor-time error instead of a
+// failure deep in the logging pipeline).
 struct DatabaseOptions {
   logging::LogScheme scheme = logging::LogScheme::kCommand;
-  uint32_t num_ssds = 2;
-  device::SsdConfig ssd_config;
+  uint32_t num_ssds = 2;  // Device count (name kept from the paper setup).
+  // Durable backend: the default simulated SSDs (virtual-time costs,
+  // nothing survives the process) or real directories under `log_dir`
+  // (logs and checkpoints survive a process kill; see Database ctor notes
+  // on reopening an existing log_dir).
+  device::DeviceKind device = device::DeviceKind::kSimulatedSsd;
+  device::SsdConfig ssd_config;   // kSimulatedSsd backend.
+  std::string log_dir;            // kFile backend: device d uses log_dir/devD.
+  // Optional fully-custom backend; overrides `device` when set. Called
+  // once per device index in [0, num_ssds).
+  device::DeviceFactory device_factory;
   uint32_t num_loggers = 2;
   uint32_t epochs_per_batch = 5;
   // Epoch auto-advance (and group-commit flush) every N commits; 0 = the
@@ -131,11 +148,14 @@ class Database {
   txn::TransactionManager* txn_manager() { return &txn_manager_; }
   txn::EpochManager* epoch_manager() { return &epochs_; }
   logging::LogManager* log_manager() { return log_manager_.get(); }
-  device::SimulatedSsd* ssd(uint32_t i) {
-    PACMAN_CHECK_MSG(i < ssds_.size(), "ssd index out of range");
-    return ssds_[i].get();
+  device::StorageDevice* device(uint32_t i) {
+    PACMAN_CHECK_MSG(i < devices_.size(), "ssd index out of range");
+    return devices_[i].get();
   }
-  std::vector<device::SimulatedSsd*> ssd_ptrs();
+  // Historical alias for device() (the paper's setup called them SSDs).
+  device::StorageDevice* ssd(uint32_t i) { return device(i); }
+  std::vector<device::StorageDevice*> device_ptrs();
+  std::vector<device::StorageDevice*> ssd_ptrs() { return device_ptrs(); }
   const DatabaseOptions& options() const { return options_; }
 
   // Runs PACMAN's compile-time static analysis over all registered
@@ -206,6 +226,12 @@ class Database {
   void Crash();
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  // True when the devices already held durable state at construction (a
+  // persistent log_dir reopened after a process kill). The database then
+  // starts in the crashed state: install the schema and procedures (not
+  // the data — the checkpoint carries it), FinalizeSchema(), then Recover.
+  bool opened_existing_state() const { return opened_existing_state_; }
+
   // --- Recovery -----------------------------------------------------------
   // Full recovery: checkpoint restore then log replay under `scheme`.
   // PLR requires scheme kPhysical logs, LLR/LLR-P kLogical, CLR/CLR-P
@@ -221,7 +247,7 @@ class Database {
 
  private:
   DatabaseOptions options_;
-  std::vector<std::unique_ptr<device::SimulatedSsd>> ssds_;
+  std::vector<std::unique_ptr<device::StorageDevice>> devices_;
   storage::Catalog catalog_;
   proc::ProcedureRegistry registry_;
   txn::EpochManager epochs_;
@@ -239,6 +265,7 @@ class Database {
   uint64_t next_ckpt_id_ = 0;
   std::atomic<double> total_flush_seconds_{0.0};
   std::atomic<bool> crashed_{false};
+  bool opened_existing_state_ = false;
   std::mutex epoch_mu_;  // Serializes AdvanceEpoch across workers.
   std::mutex slot_mu_;   // Guards the worker-slot allocator state.
   WorkerId next_worker_slot_ = 0;

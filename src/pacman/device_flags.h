@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// CommonFlags -> DatabaseOptions bridge for the example and bench
+// binaries. Deliberately its own header: the library itself takes no
+// flags, so pacman/database.h must not pull in the argv parser — only
+// binaries include this.
+#ifndef PACMAN_PACMAN_DEVICE_FLAGS_H_
+#define PACMAN_PACMAN_DEVICE_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "pacman/database.h"
+
+namespace pacman {
+
+// Applies the shared --device / --log-dir flags to `opts`. `subdir` keeps
+// independent database instances (per scheme, per sweep point) in disjoint
+// directories under the one --log-dir the user passed. The single bridge
+// between CommonFlags and DatabaseOptions, so no binary grows private
+// device plumbing.
+inline void ApplyDeviceFlags(const CommonFlags& flags, DatabaseOptions* opts,
+                             const std::string& subdir = "") {
+  if (!flags.use_file_device()) return;
+  opts->device = device::DeviceKind::kFile;
+  opts->log_dir =
+      subdir.empty() ? flags.log_dir : flags.log_dir + "/" + subdir;
+}
+
+// Fresh-start walkthroughs (the examples install schema *and* data, then
+// run transactions) cannot execute over a directory that already holds a
+// durable image — the database starts crashed and the first Execute would
+// abort deep in the engine. Exit with an actionable message instead.
+inline void ExitIfUnrecoveredState(Database* db) {
+  if (!db->opened_existing_state()) return;
+  std::fprintf(stderr,
+               "error: --log-dir \"%s\" already contains durable state from "
+               "an earlier run.\nThis walkthrough starts from scratch: point "
+               "--log-dir at a fresh directory, or remove the old one.\n",
+               db->options().log_dir.c_str());
+  std::exit(2);
+}
+
+}  // namespace pacman
+
+#endif  // PACMAN_PACMAN_DEVICE_FLAGS_H_

@@ -17,7 +17,7 @@ sim::MachineConfig StandardMachine(uint32_t num_ssds, uint32_t num_threads) {
 
 void BuildCheckpointRecovery(const logging::CheckpointMeta& meta,
                              const logging::Checkpointer* checkpointer,
-                             const std::vector<device::SimulatedSsd*>& ssds,
+                             const std::vector<device::StorageDevice*>& ssds,
                              storage::Catalog* catalog, Scheme scheme,
                              const RecoveryOptions& options,
                              sim::TaskGraph* graph,

@@ -26,7 +26,7 @@ namespace pacman::recovery {
 // useful for tuple/index installation.
 void BuildCheckpointRecovery(const logging::CheckpointMeta& meta,
                              const logging::Checkpointer* checkpointer,
-                             const std::vector<device::SimulatedSsd*>& ssds,
+                             const std::vector<device::StorageDevice*>& ssds,
                              storage::Catalog* catalog, Scheme scheme,
                              const RecoveryOptions& options,
                              sim::TaskGraph* graph,

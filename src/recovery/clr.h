@@ -14,7 +14,7 @@
 namespace pacman::recovery {
 
 void BuildClrReplay(const std::vector<GlobalBatch>& batches,
-                    const std::vector<device::SimulatedSsd*>& ssds,
+                    const std::vector<device::StorageDevice*>& ssds,
                     storage::Catalog* catalog,
                     const proc::ProcedureRegistry* registry,
                     const RecoveryOptions& options, sim::TaskGraph* graph,

@@ -134,7 +134,7 @@ ClrPLayout PlanClrPLayout(const analysis::GlobalDependencyGraph& gdg,
 
 void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const std::vector<GlobalBatch>& batches,
-                     const std::vector<device::SimulatedSsd*>& ssds,
+                     const std::vector<device::StorageDevice*>& ssds,
                      storage::Catalog* catalog,
                      const proc::ProcedureRegistry* registry,
                      const RecoveryOptions& options,

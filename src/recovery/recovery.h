@@ -10,7 +10,7 @@
 
 #include "analysis/global_graph.h"
 #include "common/types.h"
-#include "device/simulated_ssd.h"
+#include "device/storage_device.h"
 #include "logging/log_store.h"
 #include "proc/registry.h"
 #include "recovery/cost_model.h"

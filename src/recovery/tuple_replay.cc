@@ -19,7 +19,7 @@ struct ReplayWrite {
 
 void BuildTupleLogReplay(Scheme scheme,
                          const std::vector<GlobalBatch>& batches,
-                         const std::vector<device::SimulatedSsd*>& ssds,
+                         const std::vector<device::StorageDevice*>& ssds,
                          storage::Catalog* catalog,
                          const RecoveryOptions& options,
                          sim::TaskGraph* graph, RecoveryCounters* counters) {

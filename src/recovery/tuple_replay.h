@@ -23,7 +23,7 @@ namespace pacman::recovery {
 // alive until the graph has run.
 void BuildTupleLogReplay(Scheme scheme,
                          const std::vector<GlobalBatch>& batches,
-                         const std::vector<device::SimulatedSsd*>& ssds,
+                         const std::vector<device::StorageDevice*>& ssds,
                          storage::Catalog* catalog,
                          const RecoveryOptions& options,
                          sim::TaskGraph* graph, RecoveryCounters* counters);

@@ -44,6 +44,25 @@ class EpochManager {
     persisted_[logger]->store(e, std::memory_order_release);
   }
 
+  // Restores epoch continuity after recovery: the epoch counter must
+  // postdate every epoch the replayed log released to clients. In-process
+  // recovery is a no-op (the counter kept running); across a process
+  // restart this prevents the counter restarting at 1, which would
+  // regress the pepoch watermark below already-durable records and drop
+  // them from a later recovery.
+  void ResetAfterRecovery(Epoch persisted) {
+    Epoch cur = current_.load(std::memory_order_acquire);
+    while (cur <= persisted &&
+           !current_.compare_exchange_weak(cur, persisted + 1,
+                                           std::memory_order_acq_rel)) {
+    }
+    for (auto& p : persisted_) {
+      if (p->load(std::memory_order_acquire) < persisted) {
+        p->store(persisted, std::memory_order_release);
+      }
+    }
+  }
+
   // The pepoch watermark: min persisted epoch across loggers (0 if none).
   Epoch PersistentEpoch() const {
     if (persisted_.empty()) return current();

@@ -1,0 +1,445 @@
+// Process-restart durability over the pluggable device API: transactions
+// run against a FileDevice-backed database, the Database object is
+// destroyed *without* any shutdown handshake (the moral equivalent of
+// kill -9 after a group-commit flush), and a fresh Database constructed
+// over the same directory recovers to identical table contents. Plus unit
+// coverage for the FileDevice object store, batch-file naming and config
+// validation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/file_device.h"
+#include "device/simulated_ssd.h"
+#include "logging/log_store.h"
+#include "pacman/database.h"
+#include "test_util.h"
+#include "workload/bank.h"
+
+namespace pacman {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "pacman_device_XXXXXX").string();
+    char* created = ::mkdtemp(tmpl.data());
+    ASSERT_NE(created, nullptr);
+    dir_ = created;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  DatabaseOptions FileDbOptions(logging::LogScheme scheme) {
+    DatabaseOptions opts;
+    opts.scheme = scheme;
+    opts.device = device::DeviceKind::kFile;
+    opts.log_dir = dir_;
+    opts.commits_per_epoch = 10;
+    opts.epochs_per_batch = 2;
+    return opts;
+  }
+
+  // Runs `n` bank transactions (every 5th tagged ad-hoc, exercising the
+  // mixed log of §4.5) and flushes the final epoch so everything
+  // committed is durable before the "kill".
+  void RunTxns(Database* db, int n, uint64_t seed = 1) {
+    Rng rng(seed);
+    std::vector<Value> params;
+    for (int i = 0; i < n; ++i) {
+      ProcId proc = bank_.NextTransaction(&rng, &params);
+      ASSERT_TRUE(
+          db->ExecuteProcedure(proc, params, /*adhoc=*/i % 5 == 0).ok());
+    }
+    db->AdvanceEpoch();
+  }
+
+  // Schema + procedures only: a restarted process reinstalls the
+  // compile-time artifacts; the data comes back from checkpoint + log.
+  void InstallSchemaOnly(Database* db) {
+    bank_.CreateTables(db->catalog());
+    bank_.RegisterProcedures(db->registry());
+    db->FinalizeSchema();
+  }
+
+  double BalanceSum(Database* db) {
+    const Timestamp ts = db->txn_manager()->LastCommitted();
+    return testutil::VisibleSum(
+               db->catalog()->GetTable(db->catalog()->GetTableId("Current")),
+               ts) +
+           testutil::VisibleSum(
+               db->catalog()->GetTable(db->catalog()->GetTableId("Saving")),
+               ts);
+  }
+
+  std::string dir_;
+  // single_fraction = 0 so every Transfer writes (exact replay counts).
+  workload::Bank bank_{workload::BankConfig{
+      .num_users = 100, .num_nations = 4, .single_fraction = 0.0}};
+};
+
+// --- FileDevice object store -------------------------------------------
+
+TEST_F(DeviceTest, FileDeviceObjectStoreRoundTrip) {
+  device::FileDevice dev({.dir = dir_ + "/dev"});
+  EXPECT_FALSE(dev.Exists("a"));
+  dev.WriteFile("a", {1, 2, 3});
+  EXPECT_TRUE(dev.Exists("a"));
+  EXPECT_EQ(dev.FileSize("a"), 3u);
+  dev.AppendFile("a", {4, 5});
+  dev.SyncBarrier();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(dev.ReadFile("a", &bytes).ok());
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  // Overwrite is a full replace (atomic tmp+rename underneath).
+  dev.WriteFile("a", {9});
+  ASSERT_TRUE(dev.ReadFile("a", &bytes).ok());
+  EXPECT_EQ(bytes, std::vector<uint8_t>{9});
+  EXPECT_EQ(dev.ReadFile("missing", &bytes).code(), StatusCode::kNotFound);
+  EXPECT_EQ(dev.FileSize("missing"), 0u);
+
+  dev.WriteFile("log_b", {0});
+  dev.WriteFile("log_a", {0});
+  EXPECT_EQ(dev.ListFiles("log_"),
+            (std::vector<std::string>{"log_a", "log_b"}));
+  EXPECT_GT(dev.total_bytes_written(), 0u);
+  EXPECT_GT(dev.total_fsyncs(), 0u);
+  dev.RemoveAll();
+  EXPECT_TRUE(dev.ListFiles("").empty());
+}
+
+TEST_F(DeviceTest, FileDeviceStateSurvivesReopen) {
+  {
+    device::FileDevice dev({.dir = dir_ + "/dev"});
+    dev.WriteFile("pepoch.log", {7, 7});
+  }
+  device::FileDevice reopened({.dir = dir_ + "/dev"});
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(reopened.ReadFile("pepoch.log", &bytes).ok());
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{7, 7}));
+}
+
+TEST_F(DeviceTest, FileDeviceCostSurfaceReportsMeasuredWallClock) {
+  device::FileDevice dev({.dir = dir_ + "/dev"});
+  // Before any samples: the nominal priors answer, and they are finite
+  // and positive.
+  EXPECT_GT(dev.WriteSeconds(1 << 20), 0.0);
+  EXPECT_GT(dev.ReadSeconds(1 << 20), 0.0);
+  EXPECT_GE(dev.FsyncSeconds(), 0.0);
+  std::vector<uint8_t> payload(1 << 16, 0xab);
+  EXPECT_GE(dev.WriteFile("f", payload), 0.0);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(dev.ReadFile("f", &bytes).ok());
+  // After samples the estimates scale linearly in the byte count.
+  EXPECT_GT(dev.WriteSeconds(1 << 20), 0.0);
+  EXPECT_NEAR(dev.ReadSeconds(2 << 20) / dev.ReadSeconds(1 << 20), 2.0, 1e-9);
+}
+
+// --- Config validation (satellite: named constructor-time errors) -------
+
+using DeviceValidationDeathTest = DeviceTest;
+
+TEST_F(DeviceValidationDeathTest, SsdConfigRejectsNonPositiveBandwidth) {
+  device::SsdConfig bad;
+  bad.write_mbps = 0.0;
+  EXPECT_DEATH(device::SimulatedSsd{bad}, "write_mbps must be positive");
+  bad = device::SsdConfig{};
+  bad.read_mbps = -1.0;
+  EXPECT_DEATH(device::SimulatedSsd{bad}, "read_mbps must be positive");
+}
+
+TEST_F(DeviceValidationDeathTest, SsdConfigRejectsNegativeFsyncLatency) {
+  device::SsdConfig bad;
+  bad.fsync_latency_s = -1e-3;
+  EXPECT_DEATH(device::SimulatedSsd{bad},
+               "fsync_latency_s must be non-negative");
+}
+
+TEST_F(DeviceValidationDeathTest, FileDeviceRejectsBadConfig) {
+  EXPECT_DEATH(device::FileDevice{device::FileDeviceConfig{}},
+               "dir must name a directory");
+  device::FileDeviceConfig bad;
+  bad.dir = dir_ + "/dev";
+  bad.nominal_write_mbps = 0.0;
+  EXPECT_DEATH(device::FileDevice{bad}, "nominal_write_mbps must be positive");
+}
+
+TEST_F(DeviceValidationDeathTest, DatabaseRequiresLogDirForFileDevice) {
+  DatabaseOptions opts;
+  opts.device = device::DeviceKind::kFile;
+  EXPECT_DEATH(Database{opts}, "log_dir is required");
+}
+
+// --- Batch file naming (satellite: robust on-device naming) -------------
+
+TEST(BatchFileNameTest, PaddedNamesKeepLexicographicEqualNumericOrder) {
+  EXPECT_EQ(logging::LogStore::BatchFileName(3, 42),
+            "log_03_000000000042.batch");
+  // Beyond the historical 8-digit padding, names still sort correctly.
+  EXPECT_LT(logging::LogStore::BatchFileName(0, 99999999),
+            logging::LogStore::BatchFileName(0, 100000000));
+}
+
+TEST(BatchFileNameTest, ParseAcceptsBothPaddingForms) {
+  uint32_t logger = 0;
+  uint64_t seq = 0;
+  ASSERT_TRUE(logging::LogStore::ParseBatchFileName("log_03_000000000042.batch",
+                                                    &logger, &seq));
+  EXPECT_EQ(logger, 3u);
+  EXPECT_EQ(seq, 42u);
+  // The 8-digit form written by earlier repo versions parses unchanged.
+  ASSERT_TRUE(logging::LogStore::ParseBatchFileName("log_01_00000007.batch",
+                                                    &logger, &seq));
+  EXPECT_EQ(logger, 1u);
+  EXPECT_EQ(seq, 7u);
+  EXPECT_FALSE(
+      logging::LogStore::ParseBatchFileName("pepoch.log", &logger, &seq));
+  EXPECT_FALSE(
+      logging::LogStore::ParseBatchFileName("log_xx_1.batch", &logger, &seq));
+  EXPECT_FALSE(
+      logging::LogStore::ParseBatchFileName("log_1_2.ckpt", &logger, &seq));
+}
+
+// --- Process-restart durability (the capstone) ---------------------------
+
+struct RestartCase {
+  logging::LogScheme log;
+  recovery::Scheme rec;
+};
+
+class RestartRecoveryTest
+    : public DeviceTest,
+      public ::testing::WithParamInterface<RestartCase> {};
+
+TEST_P(RestartRecoveryTest, SurvivesProcessRestart) {
+  const RestartCase param = GetParam();
+  uint64_t hash_before = 0;
+  double sum_before = 0.0;
+  {
+    auto db = std::make_unique<Database>(FileDbOptions(param.log));
+    ASSERT_FALSE(db->opened_existing_state());
+    bank_.Install(db.get());
+    db->FinalizeSchema();
+    db->TakeCheckpoint();
+    RunTxns(db.get(), 80);
+    hash_before = db->ContentHash();
+    sum_before = BalanceSum(db.get());
+    // Destroy with no Crash()/Finalize handshake: everything up to the
+    // last group-commit flush must already be durable on disk.
+  }
+
+  auto db = std::make_unique<Database>(FileDbOptions(param.log));
+  EXPECT_TRUE(db->opened_existing_state());
+  EXPECT_TRUE(db->crashed());
+  InstallSchemaOnly(db.get());
+  recovery::RecoveryOptions ropts;
+  ropts.num_threads = 4;
+  FullRecoveryResult r =
+      db->Recover(param.rec, ropts, ExecutionBackend::kThreads);
+  EXPECT_FALSE(db->crashed());
+  EXPECT_GT(r.log.records_replayed, 0u);
+  EXPECT_EQ(db->ContentHash(), hash_before);
+  EXPECT_DOUBLE_EQ(BalanceSum(db.get()), sum_before);
+
+  // The recovered database accepts new work.
+  RunTxns(db.get(), 10, /*seed=*/9);
+  EXPECT_NE(db->ContentHash(), hash_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, RestartRecoveryTest,
+    ::testing::Values(
+        RestartCase{logging::LogScheme::kPhysical, recovery::Scheme::kPlr},
+        RestartCase{logging::LogScheme::kLogical, recovery::Scheme::kLlrP},
+        RestartCase{logging::LogScheme::kCommand, recovery::Scheme::kClrP}));
+
+TEST_F(DeviceTest, RestartRecoverContinueAndRestartAgain) {
+  // Two generations of restart: recover, commit more work, get killed
+  // again, recover again. Exercises batch-sequence resumption (new
+  // batches must not overwrite the previous process's) and epoch
+  // continuity (the pepoch watermark must not regress below records the
+  // first process persisted).
+  uint64_t h1 = 0;
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    bank_.Install(db.get());
+    db->FinalizeSchema();
+    db->TakeCheckpoint();
+    RunTxns(db.get(), 60);
+    h1 = db->ContentHash();
+  }
+
+  recovery::RecoveryOptions ropts;
+  ropts.num_threads = 4;
+  uint64_t h2 = 0;
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    InstallSchemaOnly(db.get());
+    db->Recover(recovery::Scheme::kClrP, ropts, ExecutionBackend::kThreads);
+    ASSERT_EQ(db->ContentHash(), h1);
+    RunTxns(db.get(), 30, /*seed=*/5);
+    h2 = db->ContentHash();
+    EXPECT_NE(h2, h1);
+  }
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    InstallSchemaOnly(db.get());
+    FullRecoveryResult r =
+        db->Recover(recovery::Scheme::kClrP, ropts, ExecutionBackend::kThreads);
+    EXPECT_EQ(db->ContentHash(), h2);
+    EXPECT_GT(r.log.records_replayed, 0u);
+  }
+}
+
+TEST_F(DeviceTest, TruncateBeyondWatermarkErasesZombieRecords) {
+  device::FileDevice dev({.dir = dir_ + "/dev"});
+  logging::LogBatch batch;
+  batch.logger_id = 0;
+  batch.seq = 4;
+  for (Epoch e : {Epoch{1}, Epoch{2}, Epoch{7}}) {
+    logging::LogRecord rec;
+    rec.commit_ts = 10 + e;
+    rec.epoch = e;
+    rec.proc = kAdhocProcId;
+    rec.writes.push_back({0, e, {Value(1.0)}, false});
+    batch.records.push_back(std::move(rec));
+  }
+  const std::string name = logging::LogStore::BatchFileName(0, batch.seq);
+  dev.WriteFile(name, logging::LogStore::SerializeBatch(
+                          logging::LogScheme::kCommand, batch));
+
+  ASSERT_TRUE(logging::LogStore::TruncateBeyondWatermark(
+                  logging::LogScheme::kCommand, {&dev}, /*pepoch=*/2)
+                  .ok());
+  // The epoch-7 zombie is gone; the file (and its sequence slot) remain.
+  EXPECT_TRUE(dev.Exists(name));
+  std::vector<logging::LogBatch> reloaded;
+  ASSERT_TRUE(logging::LogStore::LoadAllBatches(logging::LogScheme::kCommand,
+                                                {&dev}, &reloaded)
+                  .ok());
+  ASSERT_EQ(reloaded.size(), 1u);
+  ASSERT_EQ(reloaded[0].records.size(), 2u);
+  for (const auto& r : reloaded[0].records) EXPECT_LE(r.epoch, 2u);
+}
+
+TEST_F(DeviceTest, RestartRecoveryErasesZombiesFromPartialFlush) {
+  // Models a kill mid-FlushAll: one logger's batch image reached the disk
+  // with records beyond the durable pepoch watermark. The first restart
+  // recovery must both exclude them from replay and erase them, so they
+  // cannot resurface once the new process's epoch counter (and pepoch)
+  // catches up with their stamps.
+  uint64_t h1 = 0;
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    bank_.Install(db.get());
+    db->FinalizeSchema();
+    db->TakeCheckpoint();
+    RunTxns(db.get(), 40);
+    h1 = db->ContentHash();
+    // Plant the zombie: a batch whose record postdates the watermark and
+    // would visibly corrupt the Current table if ever replayed.
+    logging::LogBatch zombie;
+    zombie.logger_id = 0;
+    zombie.seq = 9999;
+    logging::LogRecord rec;
+    rec.commit_ts = 1u << 30;
+    rec.epoch = db->epoch_manager()->PersistentEpoch() + 1;
+    rec.proc = kAdhocProcId;
+    rec.writes.push_back(
+        {db->catalog()->GetTableId("Current"), 0, {Value(-1e9)}, false});
+    zombie.first_epoch = zombie.last_epoch = rec.epoch;
+    zombie.records.push_back(rec);
+    db->device(0)->WriteFile(
+        logging::LogStore::BatchFileName(0, zombie.seq),
+        logging::LogStore::SerializeBatch(logging::LogScheme::kCommand,
+                                          zombie));
+  }
+
+  recovery::RecoveryOptions ropts;
+  ropts.num_threads = 4;
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    InstallSchemaOnly(db.get());
+    db->Recover(recovery::Scheme::kClrP, ropts, ExecutionBackend::kThreads);
+    ASSERT_EQ(db->ContentHash(), h1) << "zombie record replayed";
+    // Advance far enough that pepoch passes the zombie's stamp, then die.
+    RunTxns(db.get(), 30, /*seed=*/5);
+    h1 = db->ContentHash();
+  }
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    InstallSchemaOnly(db.get());
+    db->Recover(recovery::Scheme::kClrP, ropts, ExecutionBackend::kThreads);
+    EXPECT_EQ(db->ContentHash(), h1) << "zombie resurfaced after restart";
+  }
+}
+
+TEST_F(DeviceTest, ColdStartRefusesForwardWorkBeforeRecovery) {
+  {
+    auto db = std::make_unique<Database>(
+        FileDbOptions(logging::LogScheme::kCommand));
+    bank_.Install(db.get());
+    db->FinalizeSchema();
+    db->TakeCheckpoint();
+    RunTxns(db.get(), 20);
+  }
+  auto db = std::make_unique<Database>(
+      FileDbOptions(logging::LogScheme::kCommand));
+  InstallSchemaOnly(db.get());
+  // The durable image is authoritative; executing before Recover() would
+  // fork history, so the crashed-state check rejects it.
+  EXPECT_DEATH(db->ExecuteProcedure(bank_.transfer_id(),
+                                    {Value(int64_t{0}), Value(1.0)}),
+               "");
+}
+
+TEST_F(DeviceTest, SimulatedDeviceReportsNoExistingState) {
+  // The sim backend never persists across construction, so a fresh
+  // database over it must not start in the crashed state.
+  DatabaseOptions opts;
+  opts.scheme = logging::LogScheme::kCommand;
+  Database db(opts);
+  EXPECT_FALSE(db.opened_existing_state());
+  EXPECT_FALSE(db.crashed());
+}
+
+TEST_F(DeviceTest, CustomDeviceFactoryIsHonored) {
+  // The factory hook lets embedders plug any backend; here it routes both
+  // "ssds" into FileDevices in one shared parent directory.
+  DatabaseOptions opts;
+  opts.scheme = logging::LogScheme::kCommand;
+  opts.commits_per_epoch = 10;
+  std::string dir = dir_;
+  opts.device_factory = [dir](uint32_t index) {
+    return std::make_unique<device::FileDevice>(device::FileDeviceConfig{
+        .dir = dir + "/custom" + std::to_string(index)});
+  };
+  Database db(opts);
+  bank_.Install(&db);
+  db.FinalizeSchema();
+  db.TakeCheckpoint();
+  RunTxns(&db, 20);
+  EXPECT_TRUE(fs::exists(dir_ + "/custom0"));
+  EXPECT_TRUE(fs::exists(dir_ + "/custom1"));
+  EXPECT_GT(db.device(0)->total_bytes_written() +
+                db.device(1)->total_bytes_written(),
+            0u);
+}
+
+}  // namespace
+}  // namespace pacman

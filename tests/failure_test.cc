@@ -42,11 +42,11 @@ TEST_F(FailureTest, TruncatedBatchFileIsRejected) {
   auto db = MakeDbWithLogs();
   auto names = db->ssd(0)->ListFiles("log_");
   ASSERT_FALSE(names.empty());
-  const std::vector<uint8_t>* bytes = nullptr;
+  std::vector<uint8_t> bytes;
   ASSERT_TRUE(db->ssd(0)->ReadFile(names[0], &bytes).ok());
   // Truncate in the middle of the record area.
-  std::vector<uint8_t> truncated(bytes->begin(),
-                                 bytes->begin() + bytes->size() / 2);
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() / 2);
   logging::LogBatch out;
   Status s = logging::LogStore::DeserializeBatch(logging::LogScheme::kCommand,
                                                  truncated, &out);
@@ -57,9 +57,9 @@ TEST_F(FailureTest, BitFlippedMagicIsRejected) {
   auto db = MakeDbWithLogs();
   auto names = db->ssd(0)->ListFiles("log_");
   ASSERT_FALSE(names.empty());
-  const std::vector<uint8_t>* bytes = nullptr;
+  std::vector<uint8_t> bytes;
   ASSERT_TRUE(db->ssd(0)->ReadFile(names[0], &bytes).ok());
-  std::vector<uint8_t> corrupted = *bytes;
+  std::vector<uint8_t> corrupted = bytes;
   corrupted[0] ^= 0xff;
   logging::LogBatch out;
   EXPECT_EQ(logging::LogStore::DeserializeBatch(logging::LogScheme::kCommand,
@@ -75,14 +75,14 @@ TEST_F(FailureTest, WrongSchemeParseFailsOrDiverges) {
   auto db = MakeDbWithLogs();
   auto names = db->ssd(0)->ListFiles("log_");
   ASSERT_FALSE(names.empty());
-  const std::vector<uint8_t>* bytes = nullptr;
+  std::vector<uint8_t> bytes;
   ASSERT_TRUE(db->ssd(0)->ReadFile(names[0], &bytes).ok());
   logging::LogBatch as_cl, as_ll;
   ASSERT_TRUE(logging::LogStore::DeserializeBatch(
-                  logging::LogScheme::kCommand, *bytes, &as_cl)
+                  logging::LogScheme::kCommand, bytes, &as_cl)
                   .ok());
   Status s = logging::LogStore::DeserializeBatch(logging::LogScheme::kLogical,
-                                                 *bytes, &as_ll);
+                                                 bytes, &as_ll);
   if (s.ok()) {
     bool differs = as_ll.records.size() != as_cl.records.size();
     for (size_t i = 0; !differs && i < as_ll.records.size(); ++i) {
@@ -97,7 +97,7 @@ TEST_F(FailureTest, WrongSchemeParseFailsOrDiverges) {
 
 TEST_F(FailureTest, MissingFilesReportNotFound) {
   device::SimulatedSsd ssd;
-  const std::vector<uint8_t>* bytes = nullptr;
+  std::vector<uint8_t> bytes;
   EXPECT_EQ(ssd.ReadFile("nope", &bytes).code(), StatusCode::kNotFound);
   storage::Catalog catalog;
   logging::Checkpointer ckpt(&catalog, logging::LogScheme::kCommand, {&ssd});
@@ -112,10 +112,10 @@ TEST_F(FailureTest, CorruptCheckpointStripeIsRejected) {
   logging::CheckpointMeta meta;
   ASSERT_TRUE(ckpt.ReadLatestMeta(&meta).ok());
   const std::string name = logging::Checkpointer::StripeFileName(meta.id, 0, 0);
-  const std::vector<uint8_t>* bytes = nullptr;
+  std::vector<uint8_t> bytes;
   ASSERT_TRUE(db->ssd(0)->ReadFile(name, &bytes).ok());
-  std::vector<uint8_t> truncated(bytes->begin(),
-                                 bytes->begin() + bytes->size() - 3);
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() - 3);
   db->ssd(0)->WriteFile(name, std::move(truncated));
   logging::CheckpointStripe stripe;
   EXPECT_EQ(ckpt.ReadStripe(meta, 0, 0, &stripe).code(),
