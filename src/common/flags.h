@@ -10,6 +10,9 @@
 //   --device sim|file durable backend: simulated SSDs (virtual-time
 //                     costs) or a real directory (survives process kill)
 //   --log-dir PATH    root directory for --device file
+//   --json PATH       benches only: also write the run's results as a
+//                     machine-readable JSON report to PATH (bench/harness.h
+//                     RecordJson/WriteJsonReport; ignored by the examples)
 //
 // Both "--flag value" and "--flag=value" forms are accepted. Binaries pass
 // their own defaults; absent flags keep them. Malformed values and unknown
@@ -32,6 +35,7 @@ struct CommonFlags {
   double adhoc = 0.0;
   std::string device = "sim";  // "sim" or "file".
   std::string log_dir;         // Required when device == "file".
+  std::string json;            // Benches: JSON report path ("" = off).
 
   bool use_file_device() const { return device == "file"; }
 };
@@ -40,7 +44,7 @@ namespace flags_internal {
 
 inline const char kSupported[] =
     "supported flags: --threads N  --txns N  --seed N  --adhoc F  "
-    "--device sim|file  --log-dir PATH\n";
+    "--device sim|file  --log-dir PATH  --json PATH\n";
 
 [[noreturn]] inline void Usage(const char* flag, const char* want,
                                const char* got) {
@@ -121,6 +125,11 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
         flags_internal::Usage(arg, "a directory path", next);
       }
       flags.log_dir = next;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      if (next == nullptr || next[0] == '\0') {
+        flags_internal::Usage(arg, "a file path", next);
+      }
+      flags.json = next;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       std::fprintf(stderr, "%s", flags_internal::kSupported);

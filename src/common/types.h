@@ -19,8 +19,9 @@ using Key = uint64_t;
 // as the version-visibility timestamp in MVCC version chains.
 using Timestamp = uint64_t;
 
-// Global commit order ticket of a transaction (its position in the durable
-// log stream). Recovery replays transactions in CommitOrder.
+// Commit order ticket of a transaction in the durable log stream. With
+// the parallel commit protocol this orders conflicting transactions (and,
+// per key, the write images); it is not a globally serialized sequence.
 using CommitOrder = uint64_t;
 
 // Group-commit epoch number (Silo-style).
@@ -42,6 +43,28 @@ using BlockId = uint32_t;
 
 inline constexpr Timestamp kMaxTimestamp =
     std::numeric_limits<Timestamp>::max();
+
+// --- Epoch-prefixed commit TIDs (Silo-style) --------------------------------
+// Commit timestamps are transaction ids with the group-commit epoch in the
+// high bits and a monotone sequence in the low bits. Comparing two TIDs
+// therefore first compares epochs: per-key version order within an epoch
+// and across epochs is one uniform `<` on Timestamp. The sequence field is
+// never reset, so TIDs stay strictly monotone even when a draw races an
+// epoch advance (the prefix of a TID is a lower bound on the epoch that
+// group-commits it, not the durable epoch itself — loggers stamp records
+// with the epoch of the flush that persists them).
+//
+// 40 sequence bits hold ~10^12 commits; with the lock bit the OCC slot
+// stamps steal (storage/tuple.h), epochs up to 2^22 fit without overflow.
+inline constexpr int kTidEpochShift = 40;
+
+constexpr Timestamp MakeTid(Epoch epoch, uint64_t seq) {
+  return (epoch << kTidEpochShift) | seq;
+}
+constexpr Epoch TidEpoch(Timestamp tid) { return tid >> kTidEpochShift; }
+constexpr uint64_t TidSequence(Timestamp tid) {
+  return tid & ((uint64_t{1} << kTidEpochShift) - 1);
+}
 inline constexpr Timestamp kInvalidTimestamp = 0;
 inline constexpr TableId kInvalidTableId =
     std::numeric_limits<TableId>::max();

@@ -104,8 +104,12 @@ void Logger::Finalize() {
 LogManager::LogManager(LogScheme scheme,
                        std::vector<device::StorageDevice*> devices,
                        uint32_t num_loggers, uint32_t epochs_per_batch,
-                       txn::EpochManager* epochs)
-    : scheme_(scheme), devices_(std::move(devices)), epochs_(epochs) {
+                       txn::EpochManager* epochs,
+                       txn::TransactionManager* txns)
+    : scheme_(scheme),
+      devices_(std::move(devices)),
+      epochs_(epochs),
+      txns_(txns) {
   PACMAN_CHECK(scheme == LogScheme::kOff || !devices_.empty());
   if (scheme != LogScheme::kOff) {
     // Resume every logger at one common sequence number past the largest
@@ -175,16 +179,14 @@ void LogManager::OnCommit(const txn::Transaction& txn,
   const WorkerId worker = txn.worker_id();
   WorkerBuffer* buf =
       worker != kInvalidWorkerId ? worker_buffer(worker) : nullptr;
-  if (buf != nullptr) {
-    // Per-worker staging (§4.5): no shared-logger contention on the
-    // commit path; DrainWorkerBuffers restores global commit order.
-    SpinLatchGuard g(buf->latch);
-    buf->records.push_back(std::move(record));
-    return;
-  }
-  // Route by commit order; preserves global order recoverability since
-  // every record carries its commit_ts.
-  RouteToLogger(std::move(record));
+  // Per-worker staging (§4.5): no shared-logger contention on the commit
+  // path; DrainWorkerBuffers re-sorts each cut by commit TID. Commits
+  // without a worker slot stage into the shared fallback buffer — also
+  // drained, never appended straight to a logger, so the quiesced-cut
+  // guarantee covers every record (see fallback_buffer_).
+  if (buf == nullptr) buf = &fallback_buffer_;
+  SpinLatchGuard g(buf->latch);
+  buf->records.push_back(std::move(record));
 }
 
 LogManager::WorkerBuffer* LogManager::worker_buffer(WorkerId w) {
@@ -224,18 +226,23 @@ void LogManager::RouteToLogger(LogRecord record) {
 }
 
 void LogManager::DrainWorkerBuffers() {
-  // Take every buffer latch before reading any buffer. Appends run inside
-  // the commit critical section (one at a time, in commit-ts order), so
-  // holding all latches at once makes the drained set a prefix-consistent
-  // cut of the commit order: if the record for commit_ts T is missed
-  // (its committer blocked on our latch), every record after T is missed
-  // too — no lower-ts record can slip into a *later* batch file than a
-  // higher-ts one. Latch order is buffer index; committers hold at most
-  // one buffer latch, so there is no ordering cycle.
+  // Runs under the commit quiesce barrier (FlushAll/FinalizeAll): no
+  // commit is between its TID draw and its install, so the buffers hold
+  // exactly the records of every TID drawn since the previous drain — the
+  // cut is an exact TID interval, and batch order in the durable stream
+  // is consistent with commit-TID order for every record. That is what
+  // lets recovery replay batches in sequence without ever inverting a
+  // pair of transactions, including r-w anti-dependent pairs whose reader
+  // stages long after the writer installs (per-slot staging alone would
+  // let such a pair straddle a cut in the wrong order, which command
+  // replay cannot detect). The buffer latches still serialize against
+  // any direct Logger::Append users; committers hold at most one buffer
+  // latch, so there is no ordering cycle.
   std::vector<WorkerBuffer*> buffers;
   const uint32_t n = num_worker_buffers_.load(std::memory_order_acquire);
-  buffers.reserve(n);
+  buffers.reserve(n + 1);
   for (WorkerId w = 0; w < n; ++w) buffers.push_back(worker_buffer(w));
+  buffers.push_back(&fallback_buffer_);
   std::vector<LogRecord> staged;
   for (WorkerBuffer* buf : buffers) buf->latch.Lock();
   for (WorkerBuffer* buf : buffers) {
@@ -245,9 +252,10 @@ void LogManager::DrainWorkerBuffers() {
     buf->records.clear();
   }
   for (WorkerBuffer* buf : buffers) buf->latch.Unlock();
-  // Merge back into the global commit order before handing the records to
-  // the loggers, so batch files stay ascending in commit_ts exactly like
-  // the single-threaded path.
+  // Merge by commit TID before handing the records to the loggers, so the
+  // records *within* this cut land in batch files ascending in commit_ts.
+  // Across cuts the stream is only per-key / per-conflict ordered (see
+  // recovery.h), which is exactly what replay requires.
   std::sort(staged.begin(), staged.end(),
             [](const LogRecord& a, const LogRecord& b) {
               return a.commit_ts < b.commit_ts;
@@ -257,17 +265,17 @@ void LogManager::DrainWorkerBuffers() {
 
 FlushCost LogManager::FlushAll(Epoch epoch) {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
-  // A commit that read epoch `epoch` concurrently with this flush may
-  // stage its record just after the drain cut; it becomes durable at the
-  // next flush. That straggler is safe even across a real process kill:
-  // Logger::FlushEpoch re-stamps records with the epoch of the flush that
-  // actually persisted them, so the straggler's on-device epoch will be
-  // `epoch + 1` — beyond the pepoch watermark this flush publishes — and
-  // a recovery that runs before the next flush completes excludes it,
-  // landing on the prefix-consistent drain cut. (What a kill in that
-  // window can still lose is the straggler itself; results are released
-  // at commit time rather than fenced on pepoch — see README.)
-  DrainWorkerBuffers();
+  // The drain runs at a commit quiesce point, so the cut is an exact TID
+  // interval (see DrainWorkerBuffers). A commit that read epoch `epoch`
+  // but enters the commit section only after the barrier lands in the
+  // next cut; Logger::FlushEpoch re-stamps records with the epoch of the
+  // flush that actually persists them, so that straggler's on-device
+  // epoch will be `epoch + 1` — beyond the pepoch watermark this flush
+  // publishes — and a recovery that runs before the next flush completes
+  // excludes it, landing exactly on this cut. (What a kill in that window
+  // can still lose is the straggler itself; results are released at
+  // commit time rather than fenced on pepoch — see README.)
+  DrainUnderBarrier();
   FlushCost max_cost;
   for (auto& logger : loggers_) {
     FlushCost c = logger->FlushEpoch(epoch);
@@ -284,9 +292,17 @@ FlushCost LogManager::FlushAll(Epoch epoch) {
   return max_cost;
 }
 
+void LogManager::DrainUnderBarrier() {
+  if (txns_ != nullptr) {
+    txns_->QuiesceCommits([this] { DrainWorkerBuffers(); });
+  } else {
+    DrainWorkerBuffers();
+  }
+}
+
 void LogManager::FinalizeAll() {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
-  DrainWorkerBuffers();
+  DrainUnderBarrier();
   for (auto& logger : loggers_) logger->Finalize();
 }
 

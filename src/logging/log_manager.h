@@ -16,9 +16,12 @@
 // Concurrent forward processing (§4.5 per-core logging): each worker owns
 // a local staging buffer (EnsureWorkerBuffers). Commits tagged with a
 // WorkerId append there instead of contending on the shared loggers; epoch
-// flush drains all worker buffers, merges the records back into commit-
-// timestamp order and routes them to the loggers exactly as the
-// single-threaded path would have.
+// flush drains all worker buffers atomically, sorts each drained cut by
+// commit TID and routes it to the loggers. With the Silo-style parallel
+// commit there is no global serial order to restore: the durable stream
+// guarantees per-key TID order and conflict order (commits stage while
+// holding their write locks — see DrainWorkerBuffers), which is the
+// contract recovery replays against (recovery/recovery.h).
 #ifndef PACMAN_LOGGING_LOG_MANAGER_H_
 #define PACMAN_LOGGING_LOG_MANAGER_H_
 
@@ -98,9 +101,13 @@ class LogManager {
  public:
   // Each logger's batch stream resumes past any batches already present
   // on its device (persistent devices reopened across a process restart).
+  // `txns`, when given, provides the commit quiesce barrier drains run
+  // under (see DrainWorkerBuffers); without it (unit scaffolding only)
+  // drains assume no concurrent committers.
   LogManager(LogScheme scheme, std::vector<device::StorageDevice*> devices,
              uint32_t num_loggers, uint32_t epochs_per_batch,
-             txn::EpochManager* epochs);
+             txn::EpochManager* epochs,
+             txn::TransactionManager* txns = nullptr);
   ~LogManager();
   PACMAN_DISALLOW_COPY_AND_MOVE(LogManager);
 
@@ -157,14 +164,27 @@ class LogManager {
   // registered for it. Lock-free; safe concurrently with growth.
   WorkerBuffer* worker_buffer(WorkerId w);
 
+  // Staging for commits without a registered worker buffer (engine-level
+  // Execute calls with kInvalidWorkerId). Routing them through a drained
+  // buffer — never straight to a logger — keeps the "every record passes
+  // through a quiesced drain cut" invariant uniform: a direct logger
+  // append could otherwise race FlushAll's post-barrier flush/close loop
+  // and land a conflicting record in an earlier batch than its
+  // predecessor's.
+  WorkerBuffer fallback_buffer_;
+
   // Moves every staged worker record into the loggers in commit-ts order.
-  // Called with flush_mu_ held.
+  // Called with flush_mu_ held, under the commit quiesce barrier.
   void DrainWorkerBuffers();
+  // Runs DrainWorkerBuffers under TransactionManager::QuiesceCommits
+  // (directly when no transaction manager is attached).
+  void DrainUnderBarrier();
   void RouteToLogger(LogRecord record);
 
   const LogScheme scheme_;
   std::vector<device::StorageDevice*> devices_;
   txn::EpochManager* epochs_;
+  txn::TransactionManager* txns_;  // Quiesce barrier source; may be null.
   std::vector<std::unique_ptr<Logger>> loggers_;
 
   // Worker staging buffers in chunked storage: committers index it with

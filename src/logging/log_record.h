@@ -7,7 +7,16 @@
 //  - Command logging (CL): per transaction, the stored procedure id and
 //    its parameter values. Ad-hoc transactions inside a CL stream carry
 //    row-level logical images instead (§4.5).
-// All records carry the commit timestamp (= commit order) and the epoch.
+//
+// All records carry the commit TID and the epoch. The TID is an
+// epoch-prefixed Silo-style commit timestamp (common/types.h), drawn by a
+// parallel commit protocol: it totally orders conflicting transactions
+// and, per key, the write images in the durable stream — but the stream
+// as a whole is not a globally serialized sequence, and replay must not
+// assume one (recovery/recovery.h spells out the contract). The epoch
+// field is stamped by the group-commit flush that persists the record, so
+// it can exceed TidEpoch(commit_ts) and is the authority for the pepoch
+// durability cut.
 #ifndef PACMAN_LOGGING_LOG_RECORD_H_
 #define PACMAN_LOGGING_LOG_RECORD_H_
 

@@ -1,6 +1,7 @@
 #include "pacman/database.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "recovery/checkpoint_recovery.h"
 #include "recovery/clr.h"
@@ -46,7 +47,7 @@ Database::Database(DatabaseOptions options)
   }
   log_manager_ = std::make_unique<logging::LogManager>(
       options_.scheme, device_ptrs(), options_.num_loggers,
-      options_.epochs_per_batch, &epochs_);
+      options_.epochs_per_batch, &epochs_, &txn_manager_);
   checkpointer_ = std::make_unique<logging::Checkpointer>(
       &catalog_, options_.scheme, device_ptrs());
   txn_manager_.set_commit_hook(
@@ -144,6 +145,38 @@ analysis::GlobalDependencyGraph Database::BuildChoppingGdg() const {
   return analysis::BuildGlobalGraph(chopped, registry_.procedures());
 }
 
+namespace {
+
+// Backoff between OCC retry attempts: exponential in the attempt number
+// with multiplicative jitter, so under high contention the conflicting
+// retriers spread out instead of re-colliding in lockstep (immediate
+// retry thrashes the hot keys and, on an oversubscribed host, steals the
+// timeslice from the very commit it is waiting on). The wait is a bounded
+// spin that yields periodically; it never sleeps, so the added latency
+// stays in the microsecond range.
+void BackoffAfterAbort(int attempt) {
+  thread_local uint64_t jitter_state =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  // xorshift64*: cheap thread-local jitter source.
+  jitter_state ^= jitter_state >> 12;
+  jitter_state ^= jitter_state << 25;
+  jitter_state ^= jitter_state >> 27;
+  const uint64_t rnd = jitter_state * 0x2545f4914f6cdd1dull;
+  const int shift = attempt < 8 ? attempt : 8;
+  const uint64_t base = uint64_t{64} << shift;
+  // Jitter to [0.5x, 1.5x): full-width jitter is what desynchronizes
+  // retriers that aborted on the same conflict at the same time.
+  const uint64_t iters = base / 2 + rnd % base;
+  for (uint64_t i = 0; i < iters; ++i) {
+    if ((i & 1023) == 1023) std::this_thread::yield();
+#if defined(__GNUC__) || defined(__clang__)
+    __asm__ __volatile__("");  // Keep the busy-wait from being elided.
+#endif
+  }
+}
+
+}  // namespace
+
 TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
                             const ExecOptions& opts) {
   PACMAN_CHECK(!crashed());
@@ -152,6 +185,7 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
   TxnResult result;
   result.status = Status::Internal("not attempted");
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+    if (attempt > 0) BackoffAfterAbort(attempt - 1);
     result.attempts++;
     txn::Transaction t = txn_manager_.Begin();
     proc::TxnAccess access(&catalog_, &t);
@@ -201,8 +235,13 @@ logging::FlushCost Database::AdvanceEpoch() {
 }
 
 logging::CheckpointMeta Database::TakeCheckpoint() {
+  // The snapshot base must be *stable*: with parallel commit,
+  // LastCommitted() may already include a TID whose predecessor is still
+  // mid-install, and scanning at such a timestamp could miss a committed
+  // write that log replay would then drop as "<= checkpoint_ts".
+  // StableTimestamp() waits out in-flight commits first.
   return checkpointer_->TakeCheckpoint(next_ckpt_id_++,
-                                       txn_manager_.LastCommitted(),
+                                       txn_manager_.StableTimestamp(),
                                        options_.ckpt_files_per_ssd);
 }
 
@@ -316,6 +355,14 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   }
   std::vector<recovery::GlobalBatch> batches =
       recovery::MergeBatches(raw_batches, num_ssds, meta.ts, pepoch);
+  // The invariant every replay scheme rests on — per-key commit-TID order
+  // across the global reload order; NOT a globally totally ordered stream
+  // (see recovery.h) — is cheap to check against the actual log, so check
+  // it on every recovery rather than trusting the commit protocol.
+  {
+    Status order = recovery::VerifyPerKeyCommitOrder(batches);
+    PACMAN_CHECK_MSG(order.ok(), order.message().c_str());
+  }
 
   Timestamp max_cts = meta.ts;
   for (const auto& b : batches) {

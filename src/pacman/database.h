@@ -173,6 +173,9 @@ class Database {
   // Per-call execution knobs for Execute.
   struct ExecOptions {
     bool adhoc = false;
+    // OCC retry budget. Retries back off exponentially with jitter (a few
+    // hundred ns up to ~30us per attempt) so conflicting retriers
+    // desynchronize instead of re-colliding on the hot keys in lockstep.
     int max_retries = 100;
     // Routes the commit record through this worker's log buffer (§4.5).
     WorkerId worker_id = kInvalidWorkerId;
@@ -241,6 +244,9 @@ class Database {
       ExecutionBackend backend = ExecutionBackend::kSimulated);
 
   // Fingerprint of the committed database content (for recovery checks).
+  // Call from quiescent points: it scans at LastCommitted(), which is only
+  // a consistent cut once no commit is in flight (parallel commit may
+  // still be installing a smaller TID; cf. StableTimestamp()).
   uint64_t ContentHash() const {
     return catalog_.ContentHash(txn_manager_.LastCommitted());
   }

@@ -25,7 +25,8 @@ struct TxnResult {
   // Commit attempts: 1 = committed first try, >1 = OCC retries,
   // 0 = rejected before execution (e.g. a signature mismatch).
   int attempts = 0;
-  // Commit timestamp (= global commit order ticket) on success.
+  // Commit TID on success: epoch-prefixed, orders this transaction
+  // against every conflicting committed transaction (common/types.h).
   Timestamp commit_ts = kInvalidTimestamp;
   // One entry per Emit() in the procedure, in declaration order.
   std::vector<Value> values;

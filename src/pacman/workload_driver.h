@@ -45,6 +45,9 @@ struct DriverOptions {
   // Client stream c draws from an independent RNG seeded with seed + f(c);
   // stream 0 equals a single-threaded run with the same seed.
   uint64_t seed = 42;
+  // OCC retry budget per transaction. Aborted attempts retry with
+  // exponential backoff + jitter (see Database::ExecOptions), which keeps
+  // the high-contention configurations fig15 sweeps from thrashing.
   int max_retries = 100;
   // Per-client share of the bounded submission queue (capacity =
   // num_workers * pipeline_depth): a client stream blocks whenever the

@@ -37,7 +37,12 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
     if (reload_only) continue;
 
     // Serial re-execution of the whole batch; the chain of replay tasks
-    // enforces the single-threaded commit-order replay.
+    // enforces the single-threaded replay in ascending TID per batch.
+    // Re-execution reproduces pre-crash state because commit TIDs order
+    // every pair of conflicting transactions, anti-dependencies included
+    // (txn/transaction_manager.h), and batches are TID intervals (drains
+    // run at commit quiesce barriers), so batch-sequential replay is
+    // TID-order replay — equivalent to the forward schedule.
     sim::TaskId replay = graph->AddTask(0.0, nullptr, cpu, batch.seq);
     const GlobalBatch* b = &batch;
     graph->task(replay).dynamic_work = [b, catalog, registry, counters,

@@ -212,6 +212,13 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                             counters, cm, total_threads,
                             table_block, piece_ops]() -> double {
         proc::ReplayAccess access(catalog, proc::InstallMode::kUnlatched);
+        // Pieces execute in batch order == ascending commit TID, and the
+        // conflict chains below serialize pieces that share a key in that
+        // order. This re-executes commands correctly because TIDs order
+        // all conflicting transactions (w-w, w-r and r-w; see
+        // txn/transaction_manager.h) — CLR-P needs no global total order,
+        // only that conflicting pieces replay in TID order.
+        //
         // Conflict chains: last finish time per (table,key); plus the
         // finish time of the last unresolved (conservatively serialized)
         // piece.

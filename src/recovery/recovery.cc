@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
+#include <unordered_map>
 
 namespace pacman::recovery {
 
@@ -44,6 +46,33 @@ std::vector<GlobalBatch> MergeBatches(
     out.push_back(std::move(g));
   }
   return out;
+}
+
+Status VerifyPerKeyCommitOrder(const std::vector<GlobalBatch>& batches) {
+  // (table, key) packed the way clr_p.cc packs conflict-chain keys:
+  // workload keys stay under 56 bits, so the packing is exact.
+  std::unordered_map<uint64_t, Timestamp> last_cts;
+  for (const GlobalBatch& batch : batches) {
+    for (const logging::LogRecord* rec : batch.records) {
+      for (const logging::WriteImage& img : rec->writes) {
+        const uint64_t packed =
+            (static_cast<uint64_t>(img.table) << 56) | img.key;
+        auto [it, inserted] = last_cts.emplace(packed, rec->commit_ts);
+        if (!inserted) {
+          if (it->second >= rec->commit_ts) {
+            return Status::Corruption(
+                "per-key commit order violated: table " +
+                std::to_string(img.table) + " key " +
+                std::to_string(img.key) + " has TID " +
+                std::to_string(rec->commit_ts) + " after TID " +
+                std::to_string(it->second));
+          }
+          it->second = rec->commit_ts;
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace pacman::recovery

@@ -106,6 +106,21 @@ class RecoveryCounters {
 
 // A commit-order run of log records spanning all loggers' batch files with
 // the same sequence number — the global unit of replay and pipelining.
+//
+// What "commit order" means here, precisely: commit TIDs are drawn by a
+// parallel Silo-style protocol (txn/transaction_manager.h); there is no
+// globally serialized commit section. The flusher drains each cut at a
+// commit quiesce barrier, which makes every batch an exact TID interval,
+// but replay is written against the weaker contract it actually
+// requires:
+//  - per key, write images appear in ascending commit TID across the
+//    global reload order (within and across epochs) — the invariant
+//    PLR/LLR's last-writer-wins installs, LLR-P's in-order partition
+//    installs, and VerifyPerKeyCommitOrder below encode;
+//  - any two *conflicting* transactions (w-w, w-r, and r-w) have TIDs in
+//    their serialization order, so re-executing commands in TID order
+//    (CLR serially, CLR-P under its dependency graph) reproduces the
+//    pre-crash state exactly.
 struct GlobalBatch {
   uint64_t seq = 0;
   std::vector<const logging::LogRecord*> records;  // Ascending commit_ts.
@@ -121,6 +136,16 @@ struct GlobalBatch {
 std::vector<GlobalBatch> MergeBatches(
     const std::vector<logging::LogBatch>& batches, uint32_t num_ssds,
     Timestamp checkpoint_ts, Epoch pepoch = kMaxTimestamp);
+
+// Checks the per-key ordering contract on merged replay input: every
+// key's write images must carry strictly ascending commit TIDs along the
+// global reload order (batch seq, then commit_ts within a batch). This is
+// the invariant tuple-level replay installs under, and a violated log
+// means the forward-processing commit protocol is broken — recovery
+// CHECK-fails it rather than restoring silently wrong state. One hash-map
+// pass over the write images; command records without images (pure CL
+// entries) have nothing tuple-level to verify.
+Status VerifyPerKeyCommitOrder(const std::vector<GlobalBatch>& batches);
 
 // Shared machine-layout convention for recovery task graphs:
 //   groups [0, num_ssds)      : one serial core per device;

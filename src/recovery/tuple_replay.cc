@@ -99,10 +99,20 @@ void BuildTupleLogReplay(Scheme scheme,
           storage::Table* table = catalog->GetTable(w.image->table);
           storage::TupleSlot* slot = table->GetOrCreateSlot(w.image->key);
           if (scheme == Scheme::kLlrP) {
-            // Keys are partition-owned and arrive in commit order.
+            // Keys are partition-owned and their images arrive in
+            // ascending commit TID — the per-key invariant the parallel
+            // commit protocol maintains and VerifyPerKeyCommitOrder
+            // checked at load time; a global total order is neither
+            // guaranteed nor needed. The in-order install below would
+            // corrupt the chain on any violation (its begin_ts DCHECK is
+            // the debug-build tripwire).
             storage::Table::InstallVersionUnlatched(slot, w.image->after,
                                                     w.cts, w.image->deleted);
           } else {
+            // PLR/LLR threads replay out of order within the batch:
+            // last-writer-wins by TID resolves same-key races, which is
+            // sound for exactly the same reason — per key, TID order is
+            // install order.
             storage::Table::InstallLastWriterWins(slot, w.image->after,
                                                   w.cts, w.image->deleted);
           }

@@ -47,13 +47,24 @@ void Table::LoadRow(Key key, Row row, Timestamp ts) {
   v->begin_ts = ts;
   v->data = std::move(row);
   slot->newest.store(v, std::memory_order_release);
+  slot->wlock.PublishTs(ts);
 }
 
 Status Table::Read(Key key, Timestamp ts, Row* out) const {
-  const TupleSlot* slot = GetSlot(key);
-  if (slot == nullptr) return Status::NotFound();
-  const Version* v = slot->VisibleAt(ts);
-  if (v == nullptr || v->deleted) return Status::NotFound();
+  Timestamp observed;
+  TupleSlot* slot;
+  return ReadObserved(key, ts, out, &observed, &slot);
+}
+
+Status Table::ReadObserved(Key key, Timestamp ts, Row* out,
+                           Timestamp* observed, TupleSlot** slot) const {
+  *observed = kInvalidTimestamp;
+  *slot = GetSlot(key);
+  if (*slot == nullptr) return Status::NotFound();
+  const Version* v = (*slot)->VisibleAt(ts);
+  if (v == nullptr) return Status::NotFound();
+  *observed = v->begin_ts;
+  if (v->deleted) return Status::NotFound();
   *out = v->data;
   return Status::Ok();
 }
@@ -77,6 +88,11 @@ void Table::InstallVersionUnlatched(TupleSlot* slot, Row row, Timestamp ts,
   v->older = old;
   if (old != nullptr) old->end_ts = ts;
   slot->newest.store(v, std::memory_order_release);
+  // Publish the commit stamp last: on a write-locked slot this single
+  // release store is also the unlock, so a validator that observes the
+  // slot unlocked with an unchanged stamp is guaranteed the version chain
+  // it read is still the newest.
+  slot->wlock.PublishTs(ts);
 }
 
 void Table::InstallLastWriterWins(TupleSlot* slot, Row row, Timestamp ts,

@@ -46,15 +46,28 @@ class Table {
   // --- MVCC reads -------------------------------------------------------
   // Copies the row visible at `ts` into *out; kNotFound if absent/deleted.
   Status Read(Key key, Timestamp ts, Row* out) const;
+  // Same, and also reports the begin_ts of the version the read resolved
+  // to (tombstones included), or 0 when the key had no version at `ts`,
+  // plus the slot itself (nullptr when the key has none). Those are what
+  // OCC validation later compares against the slot's commit stamp
+  // (TupleSlot::wlock), so transactions record them per read.
+  Status ReadObserved(Key key, Timestamp ts, Row* out, Timestamp* observed,
+                      TupleSlot** slot) const;
 
   // --- Version installation ---------------------------------------------
+  // Every install keeps TupleSlot::wlock equal to the newest version's
+  // begin_ts; on a slot the caller write-locked, the stamp publication
+  // doubles as the unlock (commit's install-and-release step).
+  //
   // Appends a committed version on `slot` under the slot latch. Used by
-  // forward processing (commit) and by the latched recovery schemes.
-  // `ts` must exceed the current newest version's begin_ts.
+  // the latched recovery schemes. `ts` must exceed the current newest
+  // version's begin_ts.
   static void InstallVersionLatched(TupleSlot* slot, Row row, Timestamp ts,
                                     bool deleted = false);
-  // Same but without taking the latch: PACMAN replay already serialized
-  // conflicting writers, so the latch is provably unnecessary (§4.5).
+  // Same but without taking the latch: used by forward processing (the
+  // committer holds the slot's write lock, which this install releases)
+  // and by PACMAN replay, whose schedule already serialized conflicting
+  // writers so the latch is provably unnecessary (§4.5).
   static void InstallVersionUnlatched(TupleSlot* slot, Row row, Timestamp ts,
                                       bool deleted = false);
   // Last-writer-wins install (Thomas write rule): drops the write if a

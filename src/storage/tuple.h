@@ -33,6 +33,14 @@ struct Version {
 struct TupleSlot {
   Key key = 0;
   SpinLatch latch;  // Install latch; also the recovery latch of PLR/LLR.
+  // Commit stamp + write lock (Silo-style parallel commit): the packed
+  // begin_ts of the newest version plus a write-lock bit, kept coherent
+  // with `newest` by every install path (Table::InstallVersion* /
+  // LoadRow). OCC validation compares this word against the stamp a read
+  // observed; commit locks it for the slots in its write set. 0 means "no
+  // version yet" (kInvalidTimestamp), which is also what a reader of an
+  // absent key records.
+  OccStampLock wlock;
   std::atomic<Version*> newest{nullptr};
 
   // Returns the version visible at read timestamp `ts` (newest version with

@@ -27,6 +27,11 @@ class EpochManager {
   }
   PACMAN_DISALLOW_COPY_AND_MOVE(EpochManager);
 
+  // The current epoch is also the prefix of every commit TID drawn while
+  // it lasts (common/types.h): TransactionManager::DrawCommitTid floors
+  // each draw at MakeTid(current(), 0) and maxes that with the previous
+  // TID, which keeps TIDs strictly monotone even when a draw races
+  // Advance().
   Epoch current() const { return current_.load(std::memory_order_acquire); }
 
   // Advances the global epoch. Called by the epoch thread (or by the

@@ -1,5 +1,8 @@
 #include "txn/transaction_manager.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace pacman::txn {
 
 Status Transaction::Read(storage::Table* table, Key key, Row* out) {
@@ -11,8 +14,11 @@ Status Transaction::Read(storage::Table* table, Key key, Row* out) {
       return Status::Ok();
     }
   }
-  read_set_.push_back({table, key});
-  return table->Read(key, read_ts_, out);
+  ReadEntry entry{table, key, kInvalidTimestamp, nullptr};
+  Status s =
+      table->ReadObserved(key, read_ts_, out, &entry.observed, &entry.slot);
+  read_set_.push_back(entry);
+  return s;
 }
 
 void Transaction::Write(storage::Table* table, Key key, Row row) {
@@ -48,59 +54,187 @@ void Transaction::CoalesceWrites() {
   write_set_ = std::move(coalesced);
 }
 
-Status TransactionManager::Commit(Transaction* t, CommitInfo* info) {
-  t->CoalesceWrites();
-  SpinLatchGuard g(commit_latch_);
+namespace {
 
-  // Validation: every accessed key must be unchanged since the snapshot,
-  // i.e., its newest committed version must not postdate read_ts.
-  auto unchanged = [&](storage::Table* table, Key key) {
-    storage::TupleSlot* slot = table->GetSlot(key);
-    if (slot == nullptr) return true;  // Still absent.
-    const storage::Version* v =
-        slot->newest.load(std::memory_order_acquire);
-    return v == nullptr || v->begin_ts <= t->read_ts_;
-  };
-  for (const ReadEntry& r : t->read_set_) {
-    if (!unchanged(r.table, r.key)) {
-      num_aborts_.fetch_add(1, std::memory_order_relaxed);
-      Abort(t);
-      return Status::Aborted("read validation failed");
+// Canonical slot-lock order. All committers lock their (coalesced, so
+// duplicate-free) write sets in this order, which rules out lock cycles.
+bool CanonicalWriteOrder(const WriteEntry& a, const WriteEntry& b) {
+  if (a.table->id() != b.table->id()) return a.table->id() < b.table->id();
+  return a.key < b.key;
+}
+
+}  // namespace
+
+// Scopes one commit's membership in the in-flight section on every exit
+// path (abort or success).
+class CommitSectionGuard {
+ public:
+  explicit CommitSectionGuard(TransactionManager* tm) : tm_(tm) {
+    tm_->EnterCommitSection();
+  }
+  ~CommitSectionGuard() { tm_->ExitCommitSection(); }
+  PACMAN_DISALLOW_COPY_AND_MOVE(CommitSectionGuard);
+
+ private:
+  TransactionManager* tm_;
+};
+
+void TransactionManager::EnterCommitSection() {
+  for (;;) {
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    if (!gate_closed_.load(std::memory_order_seq_cst)) return;
+    // A quiescer closed the gate: back out so its counter wait can reach
+    // zero, and re-enter once the barrier lifts.
+    in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+    while (gate_closed_.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
     }
   }
+}
+
+void TransactionManager::QuiesceCommits(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> g(quiesce_mu_);
+  gate_closed_.store(true, std::memory_order_seq_cst);
+  while (in_flight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  fn();
+  gate_closed_.store(false, std::memory_order_release);
+}
+
+Timestamp TransactionManager::DrawCommitTid(Epoch epoch) {
+  // Epoch prefixes and the lock bit stolen by slot stamps together need
+  // the TID to fit in 63 bits (common/types.h). Overflow would silently
+  // corrupt every slot stamp and TID comparison, so the ceiling is
+  // enforced in release builds too — aborting loudly is the repo's
+  // invariant idiom.
+  PACMAN_CHECK_MSG(epoch < (Epoch{1} << 22),
+                   "epoch exceeds the 2^22 commit-TID prefix ceiling");
+  const Timestamp floor = MakeTid(epoch, 0);
+  Timestamp cur = next_tid_.load(std::memory_order_relaxed);
+  Timestamp tid;
+  do {
+    tid = std::max(cur, floor) + 1;
+  } while (!next_tid_.compare_exchange_weak(cur, tid,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+  return tid;
+}
+
+void TransactionManager::AdvanceLastCommitted(Timestamp cts) {
+  Timestamp cur = last_committed_.load(std::memory_order_relaxed);
+  while (cur < cts &&
+         !last_committed_.compare_exchange_weak(cur, cts,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+Timestamp TransactionManager::StableTimestamp() {
+  // Under the barrier no commit is between draw and install, so the
+  // counter value is exactly the largest TID whose installs are visible.
+  Timestamp s = kInvalidTimestamp;
+  QuiesceCommits([&] { s = next_tid_.load(std::memory_order_acquire); });
+  return s;
+}
+
+Status TransactionManager::Commit(Transaction* t, CommitInfo* info) {
+  t->CoalesceWrites();
+  CommitSectionGuard in_flight(this);
+
+  // Phase 1: write-lock the write set in canonical order (creating slots
+  // for keys that never existed). From here until install/unlock no other
+  // transaction can commit a version into these slots.
+  std::sort(t->write_set_.begin(), t->write_set_.end(), CanonicalWriteOrder);
+  std::vector<storage::TupleSlot*> locked;
+  locked.reserve(t->write_set_.size());
   for (const WriteEntry& w : t->write_set_) {
-    if (!unchanged(w.table, w.key)) {
-      num_aborts_.fetch_add(1, std::memory_order_relaxed);
-      Abort(t);
-      return Status::Aborted("write validation failed");
+    storage::TupleSlot* slot = w.table->GetOrCreateSlot(w.key);
+    if (!slot->wlock.TryLock()) {
+      lock_waits_.fetch_add(1, std::memory_order_relaxed);
+      slot->wlock.Lock();
     }
-    if (w.is_insert) {
-      // Insert requires the key to be absent (or deleted) at the snapshot.
-      storage::TupleSlot* slot = w.table->GetSlot(w.key);
-      if (slot != nullptr) {
-        const storage::Version* v = slot->VisibleAt(t->read_ts_);
-        if (v != nullptr && !v->deleted) {
-          num_aborts_.fetch_add(1, std::memory_order_relaxed);
-          Abort(t);
-          return Status::Aborted("insert: key exists");
-        }
+    locked.push_back(slot);
+  }
+
+  // Phase 2: draw the commit TID — after the locks, before validation.
+  // This placement is what orders anti-dependencies by TID (see the
+  // header's serialization argument); do not move it.
+  const Epoch epoch = epochs_->current();
+  const Timestamp cts = DrawCommitTid(epoch);
+
+  auto abort_with = [&](const char* why) {
+    for (storage::TupleSlot* slot : locked) slot->wlock.Unlock();
+    num_aborts_.fetch_add(1, std::memory_order_relaxed);
+    Abort(t);
+    return Status::Aborted(why);
+  };
+
+  // Phase 3a: validate the read set. One atomic load per entry gives
+  // (newest version stamp, lock bit) together: the read stands iff the
+  // stamp still equals what the read observed and nobody else holds the
+  // slot's write lock. Slots in our own write set are locked by us, which
+  // is fine — the stamp cannot change under our own lock; membership is a
+  // binary search over the canonically sorted (and locked) write set.
+  for (const ReadEntry& r : t->read_set_) {
+    // The slot pointer was cached at read time; a key that had no slot
+    // then may have gained one since (a racing insert), so only the
+    // nullptr case re-consults the index.
+    storage::TupleSlot* slot =
+        r.slot != nullptr ? r.slot : r.table->GetSlot(r.key);
+    if (slot == nullptr) continue;  // Still absent (observed was 0 too).
+    const uint64_t stamp = slot->wlock.Load();
+    if (OccStampLock::TsOf(stamp) != r.observed) {
+      return abort_with("read validation failed");
+    }
+    if (OccStampLock::IsLocked(stamp)) {
+      // Locked: ours iff (table, key) is in the sorted write set.
+      const auto it = std::lower_bound(
+          t->write_set_.begin(), t->write_set_.end(), r,
+          [](const WriteEntry& w, const ReadEntry& want) {
+            if (w.table->id() != want.table->id()) {
+              return w.table->id() < want.table->id();
+            }
+            return w.key < want.key;
+          });
+      const bool ours = it != t->write_set_.end() &&
+                        it->table == r.table && it->key == r.key;
+      if (!ours) {
+        return abort_with("read validation failed: slot write-locked");
       }
     }
   }
-
-  const Timestamp cts = next_ts_.fetch_add(1, std::memory_order_relaxed);
-  info->commit_ts = cts;
-  info->epoch = epochs_->current();
-
-  for (WriteEntry& w : t->write_set_) {
-    storage::TupleSlot* slot = w.table->GetOrCreateSlot(w.key);
-    // The commit latch serializes writers; readers synchronize through the
-    // release store of the version pointer.
-    storage::Table::InstallVersionUnlatched(slot, w.row, cts, w.deleted);
+  // Phase 3b: inserts require the key to be absent (or deleted) now, at
+  // commit time — precise under our own slot lock.
+  for (size_t i = 0; i < t->write_set_.size(); ++i) {
+    if (!t->write_set_[i].is_insert) continue;
+    const storage::Version* v =
+        locked[i]->newest.load(std::memory_order_acquire);
+    if (v != nullptr && !v->deleted) {
+      return abort_with("insert: key exists");
+    }
   }
 
+  info->commit_ts = cts;
+  info->epoch = epoch;
+
+  // Phase 4: stage the log record. The binding requirement is that
+  // staging happens inside the commit section (between EnterCommitSection
+  // and the guard's exit), so the quiesced drain barrier
+  // (QuiesceCommits) sees every drawn TID staged — that is what makes
+  // each durable batch an exact TID interval. Staging before install
+  // additionally keeps conflicting records' staging in TID order within
+  // a cut, at no cost.
   if (hook_) hook_(*t, *info);
-  last_committed_.store(cts, std::memory_order_release);
+
+  // Phase 5: install. Publishing each slot's new stamp is the unlock.
+  for (size_t i = 0; i < t->write_set_.size(); ++i) {
+    WriteEntry& w = t->write_set_[i];
+    storage::Table::InstallVersionUnlatched(locked[i], std::move(w.row), cts,
+                                            w.deleted);
+  }
+
+  AdvanceLastCommitted(cts);
   t->read_set_.clear();
   t->write_set_.clear();
   return Status::Ok();

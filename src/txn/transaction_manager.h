@@ -1,18 +1,42 @@
 // Copyright (c) 2026 The PACMAN reproduction authors.
-// Optimistic MVCC transactions.
+// Optimistic MVCC transactions with a Silo-style parallel commit.
 //
-// Reads run against the snapshot at the transaction's begin timestamp;
-// writes are buffered. Commit validates, under a short global commit
-// section, that every accessed key is unchanged since the snapshot, then
-// installs all writes at a fresh commit timestamp. Commit timestamps are
-// therefore also the global commit order that the durable log preserves
-// and that recovery replays (paper §3). PACMAN is orthogonal to the CC
-// scheme (§1); this one is chosen for its crisp commit-order semantics.
+// Reads run against the snapshot at the transaction's begin timestamp and
+// record the stamp (begin_ts) of the version they resolved to; writes are
+// buffered. Commit never enters a global critical section: it write-locks
+// only its own write-set slots (per-TupleSlot stamp locks, acquired in
+// canonical (table, key) order so multi-slot lockers cannot deadlock),
+// draws an epoch-prefixed commit TID from one atomic counter, validates
+// the read set against the per-slot stamps, stages the log record, then
+// installs each write with a single release store that doubles as the
+// slot unlock. Concurrent committers only ever contend on the slots they
+// actually touch plus one fetch-and-max-style CAS.
+//
+// Why the TID order is replay-correct (the property the durable log and
+// all five recovery schemes depend on): for any two committed conflicting
+// transactions, the one that serializes first draws the smaller TID.
+//  - w-w: the second writer can lock the slot only after the first
+//    writer's install released it, which happens after the first draw.
+//  - w-r: the reader saw a version the writer installed after drawing,
+//    and the reader draws at commit, after its reads.
+//  - r-w (anti-dependency): the committed reader validated the slot as
+//    unlocked-and-unchanged with one atomic load, so the writer's lock --
+//    which precedes the writer's draw -- came after the reader's
+//    validation, which follows the reader's draw. This is why the TID is
+//    drawn after locking the write set but *before* validating the read
+//    set; moving the draw after validation would leave anti-dependencies
+//    unordered and break command-log re-execution (CLR / CLR-P).
+// Tuple-level replay (PLR/LLR/LLR-P) needs only the weaker per-key
+// consequence: versions of one key are installed in TID order, within and
+// across epochs (recovery/recovery.h, VerifyPerKeyCommitOrder). PACMAN is
+// orthogonal to the CC scheme (§1); this one is chosen because its commit
+// order is cheap to make durable.
 #ifndef PACMAN_TXN_TRANSACTION_MANAGER_H_
 #define PACMAN_TXN_TRANSACTION_MANAGER_H_
 
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
@@ -36,6 +60,16 @@ struct WriteEntry {
 struct ReadEntry {
   storage::Table* table = nullptr;
   Key key = 0;
+  // Stamp of the version this read resolved to (its begin_ts; tombstones
+  // included), or kInvalidTimestamp when the key had no version. Commit
+  // validates it against the slot's current stamp word.
+  Timestamp observed = kInvalidTimestamp;
+  // The slot the read resolved against, cached so validation is one
+  // atomic load instead of an index descent (slots are pointer-stable and
+  // never removed). nullptr when the key had no slot at read time —
+  // validation re-looks it up, since a concurrent insert may have created
+  // it since.
+  storage::TupleSlot* slot = nullptr;
 };
 
 class TransactionManager;
@@ -95,15 +129,24 @@ class Transaction {
 
 // Result of a successful commit.
 struct CommitInfo {
-  Timestamp commit_ts = kInvalidTimestamp;  // Also the commit order ticket.
+  // Epoch-prefixed commit TID (common/types.h). Orders every pair of
+  // conflicting committed transactions; also the version timestamp.
+  Timestamp commit_ts = kInvalidTimestamp;
+  // Epoch read at the TID draw (<= TidEpoch(commit_ts), which can be
+  // larger when the draw raced a concurrent committer in a newer epoch).
+  // Provisional either way: loggers restamp records with the epoch of the
+  // flush that persists them.
   Epoch epoch = 0;
 };
 
 class TransactionManager {
  public:
-  // `hook`, if set, runs inside the commit critical section after a
-  // transaction passes validation; the logging subsystem uses it to
-  // capture commit-ordered log records.
+  // `hook`, if set, runs after validation, inside the commit section and
+  // with the write-set slot locks still held, before the writes are
+  // installed; the logging subsystem uses it to stage the commit record.
+  // Running inside the commit section is what the QuiesceCommits drain
+  // barrier relies on: a drained cut contains every TID drawn before the
+  // barrier (logging/log_manager.cc, DrainWorkerBuffers).
   using CommitHook =
       std::function<void(const Transaction&, const CommitInfo&)>;
 
@@ -118,7 +161,8 @@ class TransactionManager {
   }
 
   // Validates and installs. Returns kAborted on conflict, in which case
-  // nothing was installed and the caller may retry with a fresh Begin().
+  // nothing was installed (every slot lock taken was released with its
+  // stamp intact) and the caller may retry with a fresh Begin().
   Status Commit(Transaction* t, CommitInfo* info);
 
   void Abort(Transaction* t) {
@@ -128,28 +172,87 @@ class TransactionManager {
 
   void set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
 
+  // Highest installed commit TID. With parallel commit this is a high
+  // watermark, not a stable one: a smaller TID may still be mid-install
+  // when a larger one lands. Snapshot reads therefore only use it as a
+  // freshness hint (validation is stamp-based); consistent whole-database
+  // scans (checkpoint, content hash) must use StableTimestamp().
   Timestamp LastCommitted() const {
     return last_committed_.load(std::memory_order_acquire);
   }
+
+  // A timestamp S such that every commit with TID <= S has fully
+  // installed: safe base for a consistent snapshot scan. Implemented as a
+  // brief QuiesceCommits barrier, so the wait is bounded by the in-flight
+  // commits' own install time even under sustained load.
+  Timestamp StableTimestamp();
+
+  // Runs `fn` at a quiesced point of the commit protocol: new commits are
+  // held at the entry gate and every in-flight commit has fully finished
+  // (log record staged, writes installed) before `fn` runs. The epoch
+  // flusher drains the per-worker staging buffers under this barrier,
+  // which makes every drain cut an exact TID interval — all TIDs drawn
+  // before the barrier are in the cut, all later ones are not. Batch
+  // order in the durable log is therefore consistent with commit-TID
+  // order for every record, so replaying batches in sequence cannot
+  // invert any pair of transactions — in particular not an r-w
+  // anti-dependent pair whose reader staged later than the writer, the
+  // one ordering that per-slot staging alone would not close over.
+  // Serialized against concurrent quiescers; the commit stall is the
+  // duration of `fn` plus the tail of in-flight commits (microseconds).
+  void QuiesceCommits(const std::function<void()>& fn);
 
   // Advances the timestamp/commit-order sources after recovery so that new
   // transactions commit after everything that was replayed.
   void ResetAfterRecovery(Timestamp last_committed) {
     last_committed_.store(last_committed, std::memory_order_release);
-    next_ts_.store(last_committed + 1, std::memory_order_release);
+    next_tid_.store(last_committed, std::memory_order_release);
   }
 
   uint64_t num_aborts() const {
     return num_aborts_.load(std::memory_order_relaxed);
   }
 
+  // Slot-lock acquisitions at commit that found the slot already held by
+  // another committer — the commit path's only remaining serialization
+  // events. Under the retired global commit latch every concurrent commit
+  // serialized (1.0 per commit by construction); here only genuine
+  // same-slot conflicts do, which is what bench_fig15's forward section
+  // records.
+  uint64_t num_commit_lock_waits() const {
+    return lock_waits_.load(std::memory_order_relaxed);
+  }
+
  private:
+  friend class CommitSectionGuard;
+
+  // Draws the next commit TID: strictly monotone, and floored by the
+  // epoch prefix so TidEpoch(tid) >= the epoch current at some point
+  // during the draw. The only globally shared step of commit.
+  Timestamp DrawCommitTid(Epoch epoch);
+
+  void AdvanceLastCommitted(Timestamp cts);
+
+  // The QuiesceCommits entry gate: commits register in in_flight_ for
+  // their whole validate/stage/install span and back out while the gate
+  // is closed. seq_cst on the gate/counter pair is what lets the
+  // quiescer's "gate closed, counter zero" observation imply no commit is
+  // anywhere between draw and install (Dekker-style flag pairing).
+  void EnterCommitSection();
+  void ExitCommitSection() {
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+
   EpochManager* epochs_;
-  SpinLatch commit_latch_;
-  // Timestamp 1 is reserved for bulk-loaded data.
-  std::atomic<Timestamp> next_ts_{2};
+  // TID source. Timestamp 1 is reserved for bulk-loaded data; the first
+  // draw lands at MakeTid(first epoch, 0) + 1, past it.
+  std::atomic<Timestamp> next_tid_{1};
   std::atomic<Timestamp> last_committed_{1};
+  std::atomic<uint32_t> in_flight_{0};
+  std::atomic<bool> gate_closed_{false};
+  std::mutex quiesce_mu_;  // Serializes QuiesceCommits callers.
   std::atomic<uint64_t> num_aborts_{0};
+  std::atomic<uint64_t> lock_waits_{0};
   CommitHook hook_;
 };
 
