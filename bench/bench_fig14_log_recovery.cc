@@ -40,6 +40,10 @@ void Run(int num_txns) {
         auto r = CrashAndRecover(&env, schemes[si], opts, hash,
                                  /*verify=*/reload == 0);
         results[reload][si][ti] = r.log.seconds;
+        RecordJson({reload ? "fig14a_reload_only" : "fig14b_log_recovery",
+                    pacman::recovery::SchemeName(schemes[si]), threads[ti],
+                    static_cast<uint64_t>(num_txns), 0.0, 0.0, 0.0, 0.0,
+                    r.log.seconds});
       }
     }
   }
@@ -69,12 +73,17 @@ void Run(int num_txns) {
 }  // namespace
 }  // namespace pacman::bench
 
-int main() {
+int main(int argc, char** argv) {
+  pacman::CommonFlags defaults;
+  defaults.txns = 6000;
+  pacman::CommonFlags flags = pacman::ParseCommonFlags(argc, argv, defaults);
+  pacman::bench::SetDeviceFlags(flags);
   pacman::bench::PrintTitle("Fig. 14 - Log recovery (TPC-C)");
-  pacman::bench::Run(6000);
+  pacman::bench::Run(static_cast<int>(flags.txns));
   std::printf(
       "\nExpected shape (paper): CL logs reload far faster than PL/LL;\n"
       "CLR is flat (single replay thread); CLR-P improves steeply with\n"
       "threads; PLR/LLR improve to ~20 threads then degrade (latches).\n");
+  pacman::bench::WriteJsonReport(flags.json, "fig14_log_recovery");
   return 0;
 }

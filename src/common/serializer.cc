@@ -14,7 +14,7 @@ void Serializer::PutValue(const Value& v) {
       PutDouble(v.AsDouble());
       break;
     case ValueType::kString:
-      PutString(v.AsString());
+      PutString(v.AsStringView());
       break;
   }
 }
@@ -25,11 +25,19 @@ void Serializer::PutRow(const Row& row) {
 }
 
 Status Deserializer::GetString(std::string* out) {
+  std::string_view sv;
+  Status s = GetStringView(&sv);
+  if (!s.ok()) return s;
+  out->assign(sv.data(), sv.size());
+  return Status::Ok();
+}
+
+Status Deserializer::GetStringView(std::string_view* out) {
   uint32_t n = 0;
   Status s = GetU32(&n);
   if (!s.ok()) return s;
   if (pos_ + n > size_) return Status::Corruption("string underflow");
-  out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  *out = std::string_view(reinterpret_cast<const char*>(data_ + pos_), n);
   pos_ += n;
   return Status::Ok();
 }
@@ -57,10 +65,11 @@ Status Deserializer::GetValue(Value* out) {
       return Status::Ok();
     }
     case ValueType::kString: {
-      std::string v;
-      s = GetString(&v);
+      std::string_view sv;
+      s = GetStringView(&sv);
       if (!s.ok()) return s;
-      *out = Value(std::move(v));
+      *out = borrow_strings_ ? Value::BorrowedString(sv)
+                             : Value(std::string(sv));
       return Status::Ok();
     }
   }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -25,7 +26,7 @@ class Serializer {
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
   void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
   void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
-  void PutString(const std::string& s) {
+  void PutString(std::string_view s) {
     PutU32(static_cast<uint32_t>(s.size()));
     PutRaw(s.data(), s.size());
   }
@@ -47,6 +48,12 @@ class Serializer {
 
 // Reads primitives back out of a byte span. All getters return
 // kCorruption on underflow so log-replay can reject truncated batches.
+//
+// With set_borrow_strings(true), string payloads are returned as
+// Value::BorrowedString views over the input span instead of per-field
+// copies — the zero-copy mode of batch deserialization. The caller then
+// owns keeping the span alive for as long as the parsed values live
+// (logging::LogBatch retains its file buffer for exactly this reason).
 class Deserializer {
  public:
   Deserializer(const uint8_t* data, size_t size)
@@ -54,12 +61,18 @@ class Deserializer {
   explicit Deserializer(const std::vector<uint8_t>& buf)
       : Deserializer(buf.data(), buf.size()) {}
 
+  void set_borrow_strings(bool borrow) { borrow_strings_ = borrow; }
+  bool borrow_strings() const { return borrow_strings_; }
+
   Status GetU8(uint8_t* out) { return GetRaw(out, sizeof(*out)); }
   Status GetU32(uint32_t* out) { return GetRaw(out, sizeof(*out)); }
   Status GetU64(uint64_t* out) { return GetRaw(out, sizeof(*out)); }
   Status GetI64(int64_t* out) { return GetRaw(out, sizeof(*out)); }
   Status GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
   Status GetString(std::string* out);
+  // Zero-copy: a view over this deserializer's span (valid while the
+  // underlying buffer lives, independent of further Get calls).
+  Status GetStringView(std::string_view* out);
   Status GetValue(Value* out);
   Status GetRow(Row* out);
 
@@ -80,6 +93,7 @@ class Deserializer {
   const uint8_t* data_;
   size_t size_;
   size_t pos_;
+  bool borrow_strings_ = false;
 };
 
 }  // namespace pacman

@@ -51,7 +51,7 @@ bool Value::operator==(const Value& other) const {
     case ValueType::kDouble:
       return d_ == other.d_;
     case ValueType::kString:
-      return s_ == other.s_;
+      return sv_ == other.sv_;
   }
   return false;
 }
@@ -68,7 +68,7 @@ uint64_t Value::Hash() const {
       return Fnv1a(&d, sizeof(d), 0xb2);
     }
     case ValueType::kString:
-      return Fnv1a(s_.data(), s_.size(), 0xc3);
+      return Fnv1a(sv_.data(), sv_.size(), 0xc3);
   }
   return 0;
 }
@@ -82,7 +82,7 @@ std::string Value::ToString() const {
     case ValueType::kDouble:
       return std::to_string(d_);
     case ValueType::kString:
-      return "\"" + s_ + "\"";
+      return "\"" + std::string(sv_) + "\"";
   }
   return "?";
 }

@@ -17,8 +17,9 @@ double SimulatedSsd::WriteFile(const std::string& name,
                                std::vector<uint8_t> bytes) {
   const double cost = WriteSeconds(bytes.size());
   CountBytesWritten(bytes.size());
+  auto buf = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
   std::lock_guard<std::mutex> g(mu_);
-  files_[name] = std::move(bytes);
+  files_[name] = std::move(buf);  // Readers of the old buffer keep it.
   return cost;
 }
 
@@ -27,13 +28,27 @@ double SimulatedSsd::AppendFile(const std::string& name,
   const double cost = WriteSeconds(bytes.size());
   CountBytesWritten(bytes.size());
   std::lock_guard<std::mutex> g(mu_);
-  auto& f = files_[name];
-  f.insert(f.end(), bytes.begin(), bytes.end());
+  auto& slot = files_[name];
+  // Copy-on-write: the stored buffer may be shared with readers.
+  auto next = slot == nullptr ? std::make_shared<std::vector<uint8_t>>()
+                              : std::make_shared<std::vector<uint8_t>>(*slot);
+  next->insert(next->end(), bytes.begin(), bytes.end());
+  slot = std::move(next);
   return cost;
 }
 
 Status SimulatedSsd::ReadFile(const std::string& name,
                               std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no file: " + name);
+  *out = *it->second;
+  return Status::Ok();
+}
+
+Status SimulatedSsd::ReadFileShared(
+    const std::string& name,
+    std::shared_ptr<const std::vector<uint8_t>>* out) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no file: " + name);
@@ -65,7 +80,7 @@ void SimulatedSsd::RemoveAll() {
 size_t SimulatedSsd::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = files_.find(name);
-  return it == files_.end() ? 0 : it->second.size();
+  return it == files_.end() ? 0 : it->second->size();
 }
 
 double SimulatedSsd::SyncBarrier() {

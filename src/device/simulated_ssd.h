@@ -10,6 +10,7 @@
 #define PACMAN_DEVICE_SIMULATED_SSD_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -45,6 +46,12 @@ class SimulatedSsd final : public StorageDevice {
                     const std::vector<uint8_t>& bytes) override;
   Status ReadFile(const std::string& name,
                   std::vector<uint8_t>* out) const override;
+  // Zero-copy: hands out the stored buffer itself. WriteFile/AppendFile
+  // replace the stored handle, so concurrent readers keep a stable
+  // snapshot (copy-on-write at file granularity).
+  Status ReadFileShared(
+      const std::string& name,
+      std::shared_ptr<const std::vector<uint8_t>>* out) const override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   void RemoveAll() override;
@@ -67,7 +74,10 @@ class SimulatedSsd final : public StorageDevice {
  private:
   SsdConfig config_;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<uint8_t>> files_;
+  // Values are immutable once stored: every mutation installs a fresh
+  // buffer (see ReadFileShared).
+  std::unordered_map<std::string, std::shared_ptr<const std::vector<uint8_t>>>
+      files_;
 };
 
 }  // namespace pacman::device

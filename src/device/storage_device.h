@@ -55,6 +55,22 @@ class StorageDevice {
   // Reads the whole object into `*out`; kNotFound if absent.
   virtual Status ReadFile(const std::string& name,
                           std::vector<uint8_t>* out) const = 0;
+  // Bulk read surface for loaders that only need an immutable view of the
+  // object: returns a shared handle to the bytes. Backends that hold the
+  // object in memory (SimulatedSsd) hand out their internal buffer
+  // without copying (writes replace the stored handle, so outstanding
+  // readers keep a stable snapshot); the default delegates to ReadFile.
+  // The recovery pipeline reads every batch file through this, so a
+  // multi-GB reload never duplicates the log in memory.
+  virtual Status ReadFileShared(
+      const std::string& name,
+      std::shared_ptr<const std::vector<uint8_t>>* out) const {
+    auto buf = std::make_shared<std::vector<uint8_t>>();
+    Status s = ReadFile(name, buf.get());
+    if (!s.ok()) return s;
+    *out = std::move(buf);
+    return Status::Ok();
+  }
   virtual bool Exists(const std::string& name) const = 0;
   // Names starting with `prefix`, lexicographically sorted. Callers that
   // need numeric order must parse the names (LogStore::ParseBatchFileName).

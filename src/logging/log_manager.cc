@@ -18,10 +18,10 @@ void Logger::Append(LogRecord record) {
   if (current_.records.empty()) current_.first_epoch = record.epoch;
   current_.last_epoch = record.epoch;
   unflushed_records_++;
-  // Measure the real serialized size of this record for flush accounting.
-  Serializer s;
-  SerializeRecord(scheme_, record, &s);
-  unflushed_bytes_ += s.size();
+  // The real serialized size of this record, for flush accounting —
+  // computed arithmetically (SerializedRecordBytes) rather than by
+  // serializing into a scratch buffer on every append.
+  unflushed_bytes_ += SerializedRecordBytes(scheme_, record);
   current_.records.push_back(std::move(record));
   image_dirty_ = true;
 }

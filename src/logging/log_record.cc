@@ -36,6 +36,33 @@ void SerializeWritePhysical(const WriteImage& w, Serializer* out) {
   SerializeWriteLogical(w, out);
 }
 
+size_t ValueBytes(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 4 + v.AsStringView().size();
+  }
+  return 1;
+}
+
+size_t RowBytes(const Row& row) {
+  size_t n = 4;
+  for (const Value& v : row) n += ValueBytes(v);
+  return n;
+}
+
+size_t WriteImageBytes(LogScheme scheme, const WriteImage& w) {
+  // table u32 + key u64 + deleted u8 + row; physical adds the two
+  // version-location words.
+  size_t n = 4 + 8 + 1 + RowBytes(w.after);
+  if (scheme == LogScheme::kPhysical) n += 16;
+  return n;
+}
+
 Status DeserializeWrite(LogScheme scheme, Deserializer* in, WriteImage* w) {
   if (scheme == LogScheme::kPhysical) {
     uint64_t addr;
@@ -94,6 +121,53 @@ void SerializeRecord(LogScheme scheme, const LogRecord& record,
   }
 }
 
+size_t SerializedRecordBytes(LogScheme scheme, const LogRecord& record) {
+  PACMAN_CHECK(scheme != LogScheme::kOff);
+  size_t n = 8 + 8;  // commit_ts + epoch.
+  switch (scheme) {
+    case LogScheme::kPhysical:
+    case LogScheme::kLogical: {
+      n += 4;
+      for (const WriteImage& w : record.writes) {
+        n += WriteImageBytes(scheme, w);
+      }
+      break;
+    }
+    case LogScheme::kCommand: {
+      n += 4 + 4;  // proc + count.
+      if (record.is_adhoc()) {
+        for (const WriteImage& w : record.writes) {
+          n += WriteImageBytes(LogScheme::kLogical, w);
+        }
+      } else {
+        for (const Value& v : record.params) n += ValueBytes(v);
+      }
+      break;
+    }
+    case LogScheme::kOff:
+      break;
+  }
+  return n;
+}
+
+namespace {
+
+// Validates an element count read off the wire against the bytes left in
+// the stream (`min_bytes` = the smallest possible wire size of one
+// element), so a corrupt count fails loudly instead of driving a giant
+// resize.
+Status CheckWireCount(uint32_t n, const Deserializer& in, size_t min_bytes,
+                      const char* what) {
+  if (n > in.remaining() / min_bytes) {
+    return Status::Corruption(std::string(what) + " count " +
+                              std::to_string(n) +
+                              " exceeds the bytes remaining");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status DeserializeRecord(LogScheme scheme, Deserializer* in,
                          LogRecord* record) {
   record->params.clear();
@@ -109,6 +183,9 @@ Status DeserializeRecord(LogScheme scheme, Deserializer* in,
       uint32_t n;
       s = in->GetU32(&n);
       if (!s.ok()) return s;
+      // table + key + deleted + empty row (physical adds more).
+      s = CheckWireCount(n, *in, 4 + 8 + 1 + 4, "write image");
+      if (!s.ok()) return s;
       record->writes.resize(n);
       for (uint32_t i = 0; i < n; ++i) {
         s = DeserializeWrite(scheme, in, &record->writes[i]);
@@ -123,12 +200,16 @@ Status DeserializeRecord(LogScheme scheme, Deserializer* in,
       s = in->GetU32(&n);
       if (!s.ok()) return s;
       if (record->is_adhoc()) {
+        s = CheckWireCount(n, *in, 4 + 8 + 1 + 4, "write image");
+        if (!s.ok()) return s;
         record->writes.resize(n);
         for (uint32_t i = 0; i < n; ++i) {
           s = DeserializeWrite(LogScheme::kLogical, in, &record->writes[i]);
           if (!s.ok()) return s;
         }
       } else {
+        s = CheckWireCount(n, *in, 1, "parameter");  // Tag byte minimum.
+        if (!s.ok()) return s;
         record->params.resize(n);
         for (uint32_t i = 0; i < n; ++i) {
           s = in->GetValue(&record->params[i]);

@@ -64,6 +64,13 @@ struct LogRecord {
 void SerializeRecord(LogScheme scheme, const LogRecord& record,
                      Serializer* out);
 
+// Exact number of bytes SerializeRecord would append for `record` —
+// computed without serializing, so batch buffers can be pre-sized to
+// their final size (one allocation per batch file instead of doubling
+// growth). Kept next to SerializeRecord; the two must agree byte for
+// byte (LogStore::SerializeBatch DCHECKs it).
+size_t SerializedRecordBytes(LogScheme scheme, const LogRecord& record);
+
 // Deserializes one record written by SerializeRecord with the same scheme.
 Status DeserializeRecord(LogScheme scheme, Deserializer* in,
                          LogRecord* record);

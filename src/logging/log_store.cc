@@ -53,9 +53,18 @@ bool LogStore::ParseBatchFileName(const std::string& name,
   return true;
 }
 
+size_t LogStore::SerializedBatchBytes(LogScheme scheme,
+                                      const LogBatch& batch) {
+  size_t n = 4 + 4 + 8 + 8 + 8 + 4;  // Header fields + record count.
+  for (const LogRecord& r : batch.records) {
+    n += SerializedRecordBytes(scheme, r);
+  }
+  return n;
+}
+
 std::vector<uint8_t> LogStore::SerializeBatch(LogScheme scheme,
                                               const LogBatch& batch) {
-  Serializer out(4096);
+  Serializer out(SerializedBatchBytes(scheme, batch));
   out.PutU32(kBatchMagic);
   out.PutU32(batch.logger_id);
   out.PutU64(batch.seq);
@@ -65,34 +74,80 @@ std::vector<uint8_t> LogStore::SerializeBatch(LogScheme scheme,
   for (const LogRecord& r : batch.records) {
     SerializeRecord(scheme, r, &out);
   }
+  PACMAN_DCHECK(out.size() == SerializedBatchBytes(scheme, batch));
   return out.Release();
 }
 
-Status LogStore::DeserializeBatch(LogScheme scheme,
-                                  const std::vector<uint8_t>& bytes,
-                                  LogBatch* out) {
-  Deserializer in(bytes);
+namespace {
+
+// Annotates a parse error with the batch file name and byte offset, so a
+// corrupt or truncated file is reported as the exact file and position
+// that broke instead of a bare "underflow".
+Status AnnotateParseError(const Status& s, const BatchParseOptions& opts,
+                          size_t offset, const char* what) {
+  const std::string& name =
+      opts.file_name.empty() ? std::string("<unnamed batch>")
+                             : opts.file_name;
+  return Status::Corruption("batch file " + name + " at offset " +
+                            std::to_string(offset) + ": bad " + what + ": " +
+                            s.message());
+}
+
+}  // namespace
+
+Status LogStore::DeserializeBatch(
+    LogScheme scheme, std::shared_ptr<const std::vector<uint8_t>> bytes,
+    const BatchParseOptions& opts, LogBatch* out) {
+  Deserializer in(*bytes);
+  in.set_borrow_strings(opts.borrow);
   uint32_t magic;
   Status s = in.GetU32(&magic);
-  if (!s.ok()) return s;
-  if (magic != kBatchMagic) return Status::Corruption("bad batch magic");
+  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "magic");
+  if (magic != kBatchMagic) {
+    return AnnotateParseError(Status::Corruption("bad batch magic"), opts, 0,
+                              "magic");
+  }
   s = in.GetU32(&out->logger_id);
-  if (!s.ok()) return s;
+  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
   s = in.GetU64(&out->seq);
-  if (!s.ok()) return s;
+  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
   s = in.GetU64(&out->first_epoch);
-  if (!s.ok()) return s;
+  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
   s = in.GetU64(&out->last_epoch);
-  if (!s.ok()) return s;
+  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
   uint32_t n = 0;
   s = in.GetU32(&n);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    return AnnotateParseError(s, opts, in.position(), "record count");
+  }
+  // Bound the count by the bytes actually present (every record needs at
+  // least its fixed header) before allocating: a garbage count field must
+  // be loud corruption, not a hundred-GB resize.
+  constexpr size_t kMinRecordBytes = 8 + 8 + 4;  // cts + epoch + count.
+  if (n > in.remaining() / kMinRecordBytes) {
+    return AnnotateParseError(
+        Status::Corruption("record count " + std::to_string(n) +
+                           " exceeds file size"),
+        opts, in.position(), "record count");
+  }
   out->records.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
     s = DeserializeRecord(scheme, &in, &out->records[i]);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      return AnnotateParseError(
+          s, opts, in.position(),
+          ("record " + std::to_string(i) + " of " + std::to_string(n))
+              .c_str());
+    }
   }
-  out->file_bytes = bytes.size();
+  out->file_bytes = bytes->size();
+  if (opts.borrow) {
+    // Zero-copy: the records' string fields are views into `bytes`; the
+    // batch keeps the shared handle alive for as long as they live.
+    out->backing = std::move(bytes);
+  } else {
+    out->backing.reset();
+  }
   return Status::Ok();
 }
 
@@ -127,7 +182,8 @@ Status LogStore::LoadAllBatches(
       Status s = device->ReadFile(nb.name, &bytes);
       if (!s.ok()) return s;
       LogBatch batch;
-      s = DeserializeBatch(scheme, bytes, &batch);
+      s = DeserializeBatch(scheme, std::move(bytes), {false, nb.name},
+                           &batch);
       if (!s.ok()) return s;
       out->push_back(std::move(batch));
     }
@@ -154,7 +210,7 @@ Status LogStore::TruncateBeyondWatermark(
       Status s = device->ReadFile(name, &bytes);
       if (!s.ok()) return s;
       LogBatch batch;
-      s = DeserializeBatch(scheme, bytes, &batch);
+      s = DeserializeBatch(scheme, std::move(bytes), {false, name}, &batch);
       if (!s.ok()) return s;
       bool dirty = false;
       std::vector<LogRecord> kept;

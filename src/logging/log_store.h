@@ -7,6 +7,7 @@
 #ifndef PACMAN_LOGGING_LOG_STORE_H_
 #define PACMAN_LOGGING_LOG_STORE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,25 @@ struct LogBatch {
   Epoch last_epoch = 0;
   size_t file_bytes = 0;  // Size of the batch file on its device.
   std::vector<LogRecord> records;  // Ascending commit_ts.
+  // The raw file bytes, retained when the batch was parsed in zero-copy
+  // mode: string fields of `records` are then borrowed views into this
+  // buffer (Value::BorrowedString), so it must live as long as the
+  // records. Null for copy-mode parses. A shared handle, so a device
+  // that stores objects in memory (SimulatedSsd::ReadFileShared) lends
+  // its own buffer and a reload never duplicates the log; moving the
+  // LogBatch moves the handle and views stay valid.
+  std::shared_ptr<const std::vector<uint8_t>> backing;
+};
+
+// How DeserializeBatch parses a batch file.
+struct BatchParseOptions {
+  // Zero-copy: moves the file bytes into LogBatch::backing and parses
+  // string fields as views over it, eliminating the per-field string
+  // copies and their allocations on the recovery load path.
+  bool borrow = false;
+  // File name reported in deserialization errors (with the byte offset),
+  // so a corrupt batch names the exact file and position that broke.
+  std::string file_name;
 };
 
 // File naming and batch (de)serialization.
@@ -41,14 +61,36 @@ class LogStore {
                                  uint64_t* seq);
   static std::string PepochFileName() { return "pepoch.log"; }
 
+  // Exact serialized size of a batch file (header + records), used to
+  // pre-size the serialization buffer so a multi-MB batch is one
+  // allocation instead of doubling growth. SerializeBatch DCHECKs the
+  // prediction against the bytes actually produced, so the two cannot
+  // drift silently.
+  static size_t SerializedBatchBytes(LogScheme scheme, const LogBatch& batch);
+
   // Serializes a full batch file (header + records).
   static std::vector<uint8_t> SerializeBatch(LogScheme scheme,
                                              const LogBatch& batch);
 
-  // Parses a batch file.
+  // Parses a batch file. Errors name the file and byte offset (see
+  // BatchParseOptions). With opts.borrow the handle is retained as
+  // LogBatch::backing and string fields borrow from it (zero-copy).
+  static Status DeserializeBatch(
+      LogScheme scheme, std::shared_ptr<const std::vector<uint8_t>> bytes,
+      const BatchParseOptions& opts, LogBatch* out);
+  static Status DeserializeBatch(LogScheme scheme, std::vector<uint8_t> bytes,
+                                 const BatchParseOptions& opts,
+                                 LogBatch* out) {
+    return DeserializeBatch(
+        scheme,
+        std::make_shared<const std::vector<uint8_t>>(std::move(bytes)), opts,
+        out);
+  }
   static Status DeserializeBatch(LogScheme scheme,
                                  const std::vector<uint8_t>& bytes,
-                                 LogBatch* out);
+                                 LogBatch* out) {
+    return DeserializeBatch(scheme, bytes, BatchParseOptions{}, out);
+  }
 
   // Loads and merges the batch streams of all loggers from their devices
   // into a single sequence ordered by (seq, logger), i.e., global reload

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <thread>
 
+#include "exec/thread_pool.h"
 #include "recovery/checkpoint_recovery.h"
 #include "recovery/clr.h"
 #include "recovery/clr_p.h"
 #include "recovery/executor.h"
+#include "recovery/log_pipeline.h"
 #include "recovery/tuple_replay.h"
 #include "sim/machine.h"
 
@@ -189,7 +191,7 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
     result.attempts++;
     txn::Transaction t = txn_manager_.Begin();
     proc::TxnAccess access(&catalog_, &t);
-    proc::ProcState state(&def, params);
+    proc::ProcState state(&def, &params);
     Status s = proc::ExecuteAll(&state, &access);
     if (!s.ok()) {
       result.status = s;
@@ -289,7 +291,6 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   const uint32_t num_ssds = options_.num_ssds;
   std::vector<device::StorageDevice*> devices = device_ptrs();
 
-  // --- Stage 1: checkpoint recovery -------------------------------------
   logging::CheckpointMeta meta;
   Status s = checkpointer_->ReadLatestMeta(&meta);
   // Replaying from an empty checkpoint would silently drop the bulk-loaded
@@ -304,30 +305,7 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   PACMAN_CHECK_MSG(meta.num_ssds == devices.size(),
                    "checkpoint on the devices was written with a different "
                    "num_ssds than this DatabaseOptions");
-  {
-    sim::TaskGraph graph;
-    recovery::RecoveryCounters counters;
-    recovery::BuildCheckpointRecovery(meta, checkpointer_.get(), devices,
-                                      &catalog_, scheme, opts, &graph,
-                                      &counters);
-    if (backend == ExecutionBackend::kSimulated) {
-      sim::Machine machine(
-          recovery::StandardMachine(num_ssds, opts.num_threads));
-      result.checkpoint.seconds = machine.Run(graph).makespan;
-    } else {
-      result.checkpoint.seconds =
-          recovery::RunOnThreads(&graph, opts.num_threads);
-    }
-    counters.FillStats(&result.checkpoint);
-  }
 
-  // --- Stage 2: log recovery ---------------------------------------------
-  std::vector<logging::LogBatch> raw_batches;
-  s = logging::LogStore::LoadAllBatches(options_.scheme, devices,
-                                        &raw_batches);
-  PACMAN_CHECK(s.ok());
-  recovery::RecoveryOptions log_opts = opts;
-  log_opts.checkpoint_ts = meta.ts;
   // Replay only up to the pepoch watermark: results past it were never
   // released to clients (Appendix A). When the watermark file is absent
   // the default depends on the medium. On a persistent device the file
@@ -336,7 +314,8 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   // are a per-logger-striped, non-prefix subset of the commit order and
   // must not be replayed (pepoch = 0). On a simulated device nothing
   // predates this process and the streams were closed by Crash(), so the
-  // legacy "replay everything" semantics stand.
+  // legacy "replay everything" semantics stand. Read before the load
+  // pipeline starts: the watermark parameterizes the streaming merge.
   Epoch pepoch = devices[0]->IsPersistent() ? 0 : kMaxTimestamp;
   {
     std::vector<uint8_t> pbytes;
@@ -353,20 +332,92 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
                        "cannot read the pepoch watermark file");
     }
   }
-  std::vector<recovery::GlobalBatch> batches =
-      recovery::MergeBatches(raw_batches, num_ssds, meta.ts, pepoch);
-  // The invariant every replay scheme rests on — per-key commit-TID order
-  // across the global reload order; NOT a globally totally ordered stream
-  // (see recovery.h) — is cheap to check against the actual log, so check
-  // it on every recovery rather than trusting the commit protocol.
-  {
-    Status order = recovery::VerifyPerKeyCommitOrder(batches);
-    PACMAN_CHECK_MSG(order.ok(), order.message().c_str());
+
+  // --- Pipelined load (recovery/log_pipeline.h) ---------------------------
+  // Both load stages start here, before any replay graph exists: the
+  // checkpoint stripes and every logger's batch stream are read and
+  // deserialized on a dedicated load pool. The checkpoint-recovery graph
+  // below consumes prefetched stripes; the log-replay graph consumes
+  // global batches as the streaming merge publishes them (overlapped with
+  // replay on the real-thread backend via per-seq gates).
+  const bool pipelined = opts.pipelined_load;
+  const bool overlap =
+      pipelined && backend == ExecutionBackend::kThreads;
+  std::unique_ptr<exec::ThreadPool> load_pool;
+  std::unique_ptr<recovery::CheckpointPrefetch> prefetch;
+  std::unique_ptr<recovery::PipelinedLogLoader> loader;
+  if (pipelined) {
+    const uint32_t load_workers = std::max(
+        1u, opts.load_threads != 0 ? opts.load_threads : opts.num_threads);
+    load_pool = std::make_unique<exec::ThreadPool>(load_workers);
+    prefetch = std::make_unique<recovery::CheckpointPrefetch>(
+        meta, checkpointer_.get(), load_pool.get());
+    recovery::LogPipelineOptions lopts;
+    lopts.num_threads = load_workers;
+    lopts.checkpoint_ts = meta.ts;
+    lopts.pepoch = pepoch;
+    lopts.num_ssds = num_ssds;
+    loader = std::make_unique<recovery::PipelinedLogLoader>(
+        options_.scheme, devices, load_pool.get(), lopts);
+    loader->Start();
   }
 
-  Timestamp max_cts = meta.ts;
-  for (const auto& b : batches) {
-    for (const auto* r : b.records) max_cts = std::max(max_cts, r->commit_ts);
+  // --- Stage 1: checkpoint recovery -------------------------------------
+  {
+    sim::TaskGraph graph;
+    recovery::RecoveryCounters counters;
+    recovery::BuildCheckpointRecovery(meta, checkpointer_.get(), devices,
+                                      &catalog_, scheme, opts, &graph,
+                                      &counters, prefetch.get());
+    if (backend == ExecutionBackend::kSimulated) {
+      sim::Machine machine(
+          recovery::StandardMachine(num_ssds, opts.num_threads));
+      result.checkpoint.seconds = machine.Run(graph).makespan;
+    } else {
+      result.checkpoint.seconds =
+          recovery::RunOnThreads(&graph, opts.num_threads);
+    }
+    counters.FillStats(&result.checkpoint);
+  }
+
+  // --- Stage 2: log recovery ---------------------------------------------
+  recovery::RecoveryOptions log_opts = opts;
+  log_opts.checkpoint_ts = meta.ts;
+
+  // The serial reference loader (pipelined_load = false): read +
+  // deserialize every batch file on this thread, merge, then verify the
+  // per-key contract over the whole log. The pipeline performs the same
+  // steps fragment-parallel and verifies each batch as it is merged, so
+  // by the time replay may consume a batch it is already checked.
+  std::vector<logging::LogBatch> raw_batches;
+  std::vector<recovery::GlobalBatch> serial_batches;
+  const std::vector<recovery::GlobalBatch>* batches = nullptr;
+  if (!pipelined) {
+    s = logging::LogStore::LoadAllBatches(options_.scheme, devices,
+                                          &raw_batches);
+    PACMAN_CHECK_MSG(s.ok(), s.message().c_str());
+    serial_batches =
+        recovery::MergeBatches(raw_batches, num_ssds, meta.ts, pepoch);
+    // The invariant every replay scheme rests on — per-key commit-TID
+    // order across the global reload order; NOT a globally totally
+    // ordered stream (see recovery.h) — is cheap to check against the
+    // actual log, so check it on every recovery rather than trusting the
+    // commit protocol.
+    Status order = recovery::VerifyPerKeyCommitOrder(serial_batches);
+    PACMAN_CHECK_MSG(order.ok(), order.message().c_str());
+    batches = &serial_batches;
+  } else if (!overlap) {
+    // Simulated replay backend: the graph is a virtual-time model and
+    // wants the full batch vector up front — the load itself still ran
+    // multicore (and overlapped checkpoint restore above).
+    Status ls = loader->WaitAll();
+    PACMAN_CHECK_MSG(ls.ok(), loader->error_message());
+    batches = &loader->batches();
+  } else {
+    // Real-thread backend: build the replay graph against the loader's
+    // batch skeletons and gate each batch's tasks on its publication, so
+    // replay of batch k overlaps the load of batch k+1.
+    batches = &loader->batches();
   }
 
   {
@@ -374,25 +425,46 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
     recovery::RecoveryCounters counters;
     sim::MachineConfig machine_config =
         recovery::StandardMachine(num_ssds, log_opts.num_threads);
+    std::vector<sim::TaskId> gates;
+    const std::vector<sim::TaskId>* gates_ptr = nullptr;
+    if (overlap) {
+      gates = recovery::AddBatchGates(loader.get(), &graph,
+                                      recovery::CpuGroup(num_ssds));
+      gates_ptr = &gates;
+    }
     switch (scheme) {
       case recovery::Scheme::kPlr:
       case recovery::Scheme::kLlr:
       case recovery::Scheme::kLlrP:
-        recovery::BuildTupleLogReplay(scheme, batches, devices, &catalog_,
-                                      log_opts, &graph, &counters);
+        recovery::BuildTupleLogReplay(scheme, *batches, devices, &catalog_,
+                                      log_opts, &graph, &counters,
+                                      gates_ptr);
         break;
       case recovery::Scheme::kClr:
-        recovery::BuildClrReplay(batches, devices, &catalog_, &registry_,
-                                 log_opts, &graph, &counters);
+        recovery::BuildClrReplay(*batches, devices, &catalog_, &registry_,
+                                 log_opts, &graph, &counters, gates_ptr);
         break;
       case recovery::Scheme::kClrP: {
         const analysis::GlobalDependencyGraph* gdg =
             log_opts.gdg_override != nullptr ? log_opts.gdg_override : &gdg_;
-        recovery::ClrPLayout layout = recovery::PlanClrPLayout(
-            *gdg, batches, &registry_, num_ssds, log_opts);
-        recovery::BuildClrPReplay(*gdg, batches, devices, &catalog_,
+        recovery::ClrPLayout layout;
+        if (overlap && !batches->empty()) {
+          // Core assignment from the first merged batch as the workload
+          // sample (see PlanClrPLayout): waiting for the whole log here
+          // would forfeit the load/replay overlap, and the assignment
+          // only shapes scheduling.
+          const recovery::GlobalBatch* first = loader->WaitBatch(0);
+          PACMAN_CHECK_MSG(first != nullptr, loader->error_message());
+          std::vector<recovery::GlobalBatch> sample(1, *first);
+          layout = recovery::PlanClrPLayout(*gdg, sample, &registry_,
+                                            num_ssds, log_opts);
+        } else {
+          layout = recovery::PlanClrPLayout(*gdg, *batches, &registry_,
+                                            num_ssds, log_opts);
+        }
+        recovery::BuildClrPReplay(*gdg, *batches, devices, &catalog_,
                                   &registry_, log_opts, layout, &graph,
-                                  &counters);
+                                  &counters, gates_ptr);
         machine_config = layout.machine;
         break;
       }
@@ -404,6 +476,24 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
       result.log.seconds = recovery::RunOnThreads(&graph, opts.num_threads);
     }
     counters.FillStats(&result.log);
+  }
+  if (pipelined) {
+    // Already returned for the non-overlap path; after an overlapped run
+    // every gate has passed, so this only surfaces a failure that struck
+    // past the last published batch.
+    Status ls = loader->WaitAll();
+    PACMAN_CHECK_MSG(ls.ok(), loader->error_message());
+  }
+
+  Timestamp max_cts = meta.ts;
+  if (pipelined) {
+    max_cts = std::max(max_cts, loader->max_commit_ts());
+  } else {
+    for (const auto& b : *batches) {
+      for (const auto* r : b.records) {
+        max_cts = std::max(max_cts, r->commit_ts);
+      }
+    }
   }
 
   txn_manager_.ResetAfterRecovery(max_cts);
@@ -417,16 +507,24 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   // the first FlushAll finished), every loaded record was replayed, so
   // the max replayed epoch serves instead.
   Epoch epoch_floor = 0;
-  bool have_floor = pepoch != kMaxTimestamp;
+  const bool have_floor = pepoch != kMaxTimestamp;
   if (have_floor) epoch_floor = pepoch;
   bool zombies = false;
-  for (const auto& b : raw_batches) {
-    for (const auto& r : b.records) {
-      if (!have_floor) epoch_floor = std::max(epoch_floor, r.epoch);
-      zombies = zombies || (have_floor && r.epoch > epoch_floor);
+  bool any_batches = false;
+  if (pipelined) {
+    if (!have_floor) epoch_floor = loader->max_record_epoch();
+    zombies = loader->zombie_records() > 0;
+    any_batches = loader->num_batches() > 0;
+  } else {
+    for (const auto& b : raw_batches) {
+      for (const auto& r : b.records) {
+        if (!have_floor) epoch_floor = std::max(epoch_floor, r.epoch);
+        zombies = zombies || (have_floor && r.epoch > epoch_floor);
+      }
     }
+    any_batches = !raw_batches.empty();
   }
-  if (have_floor || !raw_batches.empty()) {
+  if (have_floor || any_batches) {
     epochs_.ResetAfterRecovery(epoch_floor);
   }
   if (zombies) {

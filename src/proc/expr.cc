@@ -61,14 +61,14 @@ bool ValueTruthy(const Value& v) {
     case ValueType::kDouble:
       return v.AsDouble() != 0.0;
     case ValueType::kString:
-      return !v.AsString().empty();
+      return !v.AsStringView().empty();
   }
   return false;
 }
 
 int CompareValues(const Value& a, const Value& b) {
   if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
-    return a.AsString().compare(b.AsString());
+    return a.AsStringView().compare(b.AsStringView());
   }
   double da = a.AsDouble(), db = b.AsDouble();
   if (da < db) return -1;

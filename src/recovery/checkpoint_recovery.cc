@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/macros.h"
+#include "recovery/log_pipeline.h"
 
 namespace pacman::recovery {
 
@@ -21,7 +22,8 @@ void BuildCheckpointRecovery(const logging::CheckpointMeta& meta,
                              storage::Catalog* catalog, Scheme scheme,
                              const RecoveryOptions& options,
                              sim::TaskGraph* graph,
-                             RecoveryCounters* counters) {
+                             RecoveryCounters* counters,
+                             CheckpointPrefetch* prefetch) {
   const CostModel cm = options.costs;
   const auto num_ssds = static_cast<uint32_t>(ssds.size());
   const sim::GroupId cpu = CpuGroup(num_ssds);
@@ -48,8 +50,12 @@ void BuildCheckpointRecovery(const logging::CheckpointMeta& meta,
       auto stripe = std::make_shared<logging::CheckpointStripe>();
       sim::TaskId load = graph->AddTask(0.0, nullptr, cpu, /*priority=*/f);
       graph->task(load).dynamic_work = [=]() {
-        Status s = checkpointer->ReadStripe(meta, d, f, stripe.get());
-        PACMAN_CHECK(s.ok());
+        if (prefetch != nullptr) {
+          *stripe = prefetch->TakeStripe(d, f);
+        } else {
+          Status s = checkpointer->ReadStripe(meta, d, f, stripe.get());
+          PACMAN_CHECK_MSG(s.ok(), s.message().c_str());
+        }
         double deser = static_cast<double>(stripe->file_bytes) *
                        cm.deserialize_byte;
         counters->AddLoading(deser);

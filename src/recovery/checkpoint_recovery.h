@@ -20,17 +20,24 @@
 
 namespace pacman::recovery {
 
+class CheckpointPrefetch;
+
 // Appends the checkpoint-recovery tasks for `meta` to `graph` using the
 // standard group layout (SSD groups + CPU pool). Real side effects load
 // tuples into `catalog`. Counter categories: loading for io/deserialize,
-// useful for tuple/index installation.
+// useful for tuple/index installation. With `prefetch` (the pipelined
+// load path), each stripe's read + deserialization already runs on the
+// load pool and the graph task consumes the parsed stripe — the stripes
+// load in parallel with each other and with the log pipeline, instead of
+// one ReadStripe per task dispatch.
 void BuildCheckpointRecovery(const logging::CheckpointMeta& meta,
                              const logging::Checkpointer* checkpointer,
                              const std::vector<device::StorageDevice*>& ssds,
                              storage::Catalog* catalog, Scheme scheme,
                              const RecoveryOptions& options,
                              sim::TaskGraph* graph,
-                             RecoveryCounters* counters);
+                             RecoveryCounters* counters,
+                             CheckpointPrefetch* prefetch = nullptr);
 
 // Standard machine for non-CLR-P recovery graphs: one serial core per SSD
 // plus a CPU pool of options.num_threads cores.

@@ -10,14 +10,16 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
                     storage::Catalog* catalog,
                     const proc::ProcedureRegistry* registry,
                     const RecoveryOptions& options, sim::TaskGraph* graph,
-                    RecoveryCounters* counters) {
+                    RecoveryCounters* counters,
+                    const std::vector<sim::TaskId>* batch_gates) {
   const CostModel cm = options.costs;
   const auto num_ssds = static_cast<uint32_t>(ssds.size());
   const sim::GroupId cpu = CpuGroup(num_ssds);
   const bool reload_only = options.reload_only;
 
   sim::TaskId prev_replay = sim::kInvalidTask;
-  for (const GlobalBatch& batch : batches) {
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const GlobalBatch& batch = batches[bi];
     std::vector<sim::TaskId> ios;
     size_t batch_bytes = 0;
     for (const auto& [ssd_index, bytes] : batch.files) {
@@ -34,6 +36,7 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
         [counters, deser_cost]() { counters->AddLoading(deser_cost); }, cpu,
         batch.seq);
     for (sim::TaskId io : ios) graph->AddEdge(io, deser);
+    if (batch_gates != nullptr) graph->AddEdge((*batch_gates)[bi], deser);
     if (reload_only) continue;
 
     // Serial re-execution of the whole batch; the chain of replay tasks
@@ -59,7 +62,7 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
             access.Write(img.table, img.key, img.after, img.deleted, false);
           }
         } else {
-          proc::ProcState state(&registry->Get(rec->proc), rec->params);
+          proc::ProcState state(&registry->Get(rec->proc), &rec->params);
           Status s = proc::ExecuteAll(&state, &access);
           PACMAN_CHECK(s.ok());
         }

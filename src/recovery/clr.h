@@ -13,12 +13,16 @@
 
 namespace pacman::recovery {
 
+// `batches` must stay alive until the graph has run; records are read at
+// dispatch time only, so with `batch_gates` (AddBatchGates) each batch
+// may still be loading when the graph is built.
 void BuildClrReplay(const std::vector<GlobalBatch>& batches,
                     const std::vector<device::StorageDevice*>& ssds,
                     storage::Catalog* catalog,
                     const proc::ProcedureRegistry* registry,
                     const RecoveryOptions& options, sim::TaskGraph* graph,
-                    RecoveryCounters* counters);
+                    RecoveryCounters* counters,
+                    const std::vector<sim::TaskId>* batch_gates = nullptr);
 
 }  // namespace pacman::recovery
 

@@ -139,7 +139,8 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const proc::ProcedureRegistry* registry,
                      const RecoveryOptions& options,
                      const ClrPLayout& layout, sim::TaskGraph* graph,
-                     RecoveryCounters* counters) {
+                     RecoveryCounters* counters,
+                     const std::vector<sim::TaskId>* batch_gates) {
   const CostModel cm = options.costs;
   const auto num_blocks = static_cast<uint32_t>(gdg.NumBlocks());
   const bool reload_only = options.reload_only;
@@ -163,7 +164,8 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
   std::vector<sim::TaskId> prev_ps(num_blocks, sim::kInvalidTask);
   sim::TaskId prev_barrier = sim::kInvalidTask;
 
-  for (const GlobalBatch& batch : batches) {
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const GlobalBatch& batch = batches[bi];
     // --- Reload stage --------------------------------------------------
     std::vector<sim::TaskId> ios;
     size_t batch_bytes = 0;
@@ -188,7 +190,7 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
         bstate->txns[i].rec = rec;
         if (!rec->is_adhoc()) {
           bstate->txns[i].state =
-              proc::ProcState(&registry->Get(rec->proc), rec->params);
+              proc::ProcState(&registry->Get(rec->proc), &rec->params);
         }
       }
       counters->AddLoading(deser_cost);
@@ -196,6 +198,7 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
       return deser_cost;
     };
     for (sim::TaskId io : ios) graph->AddEdge(io, deser);
+    if (batch_gates != nullptr) graph->AddEdge((*batch_gates)[bi], deser);
     if (reload_only) continue;
 
     // --- Piece-set tasks ------------------------------------------------
@@ -223,6 +226,7 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
         // finish time of the last unresolved (conservatively serialized)
         // piece.
         std::unordered_map<uint64_t, double> key_finish;
+        key_finish.reserve(bstate->txns.size() * 4);
         std::vector<double> core_free(cores, 0.0);
         double barrier_time = 0.0;
         double max_finish = 0.0;

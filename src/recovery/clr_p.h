@@ -36,7 +36,11 @@ struct ClrPLayout {
 
 // Computes the per-block core assignment from the piece distribution of
 // the reloaded batches (§4.4, Fig. 10), weighted by the cost model so
-// heavy blocks get proportional shares.
+// heavy blocks get proportional shares. The distribution is an estimate
+// made "at log reloading time": the serial loader passes every batch;
+// the streaming pipeline passes the first merged batch as a sample (the
+// assignment shapes scheduling, never correctness, and waiting for the
+// full log would forfeit the load/replay overlap).
 ClrPLayout PlanClrPLayout(const analysis::GlobalDependencyGraph& gdg,
                           const std::vector<GlobalBatch>& batches,
                           const proc::ProcedureRegistry* registry,
@@ -45,6 +49,9 @@ ClrPLayout PlanClrPLayout(const analysis::GlobalDependencyGraph& gdg,
 
 // Appends the PACMAN log-replay tasks to `graph` using `layout`'s groups.
 // `options.mode` selects static-only / synchronous / pipelined execution.
+// `batches` must stay alive until the graph has run; records are read at
+// dispatch time only, so with `batch_gates` (AddBatchGates) each batch
+// may still be loading when the graph is built.
 void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const std::vector<GlobalBatch>& batches,
                      const std::vector<device::StorageDevice*>& ssds,
@@ -52,7 +59,8 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const proc::ProcedureRegistry* registry,
                      const RecoveryOptions& options,
                      const ClrPLayout& layout, sim::TaskGraph* graph,
-                     RecoveryCounters* counters);
+                     RecoveryCounters* counters,
+                     const std::vector<sim::TaskId>* batch_gates = nullptr);
 
 }  // namespace pacman::recovery
 

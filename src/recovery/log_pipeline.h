@@ -1,0 +1,216 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Pipelined multicore recovery load path (paper §6.2.3's recovery-time
+// claim depends on it: reloading must not serialize in front of replay).
+//
+// The serial reference loader (LogStore::LoadAllBatches + MergeBatches)
+// reads and deserializes one batch file at a time on one thread, then
+// merges everything before replay may start — a serial prefix that grows
+// linearly with log size. This pipeline rebuilds that prefix as three
+// overlapped stages on an exec::ThreadPool:
+//
+//   readers      one job per device, reading that device's batch files in
+//                (seq, logger) order — a device is a serial bandwidth
+//                resource, so one sequential reader per stream;
+//   deserialize  fan-out: each file's bytes are parsed by whatever worker
+//                is free, in zero-copy mode (string fields are views over
+//                the retained file buffer, LogBatch::backing);
+//   merge        a seq-ordered producer: the worker that completes the
+//                last fragment of the next pending sequence number merges
+//                that seq's fragments into a GlobalBatch (identical
+//                algorithm to the serial path: MergeBatchGroup), runs the
+//                incremental per-key commit-order verification, and
+//                publishes it.
+//
+// Batches are published in ascending seq. On the real-thread replay
+// backend, per-seq gate tasks (AddBatchGates) block replay of batch k
+// only on batch k's publication, so replay of batch k overlaps the load
+// and deserialization of batch k+1 — the same per-seq (not global)
+// barrier PACMAN's inter-batch pipelining uses for replay itself. The
+// batch-sequential TID-order contract (recovery.h) is untouched: merge
+// and publication are strictly seq-ordered.
+//
+// CheckpointPrefetch does the same for checkpoint stripes: all stripe
+// files are read + deserialized on the pool, so the checkpoint-recovery
+// graph (and, concurrently, the log pipeline) consumes them as they
+// arrive instead of reading them one task at a time.
+#ifndef PACMAN_RECOVERY_LOG_PIPELINE_H_
+#define PACMAN_RECOVERY_LOG_PIPELINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "device/storage_device.h"
+#include "exec/thread_pool.h"
+#include "logging/checkpointer.h"
+#include "logging/log_store.h"
+#include "recovery/recovery.h"
+#include "sim/task_graph.h"
+
+namespace pacman::recovery {
+
+// One batch file discovered on a device, plus its position in the global
+// reload order.
+struct BatchFileInfo {
+  uint32_t device = 0;  // Index into the device vector.
+  uint32_t logger = 0;
+  uint64_t seq = 0;
+  size_t seq_index = 0;  // Index into LogLoadPlan::seqs.
+  size_t bytes = 0;      // On-device size (listing metadata).
+  std::string name;
+};
+
+// The load plan, built from device listings only (no file contents read):
+// every batch file, and the distinct sequence numbers in ascending order.
+struct LogLoadPlan {
+  std::vector<BatchFileInfo> files;
+  std::vector<uint64_t> seqs;
+  // Indices into `files` per seq (parallel to `seqs`), ascending logger —
+  // the global reload order within the sequence number.
+  std::vector<std::vector<size_t>> seq_files;
+};
+
+LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices);
+
+struct LogPipelineOptions {
+  uint32_t num_threads = 1;  // Load pool workers driving this pipeline.
+  Timestamp checkpoint_ts = 0;
+  Epoch pepoch = kMaxTimestamp;
+  uint32_t num_ssds = 1;
+  bool verify_order = true;
+};
+
+// Parallel load + streaming merge of all loggers' batch streams.
+//
+// Lifecycle: construct, Start(), then either WaitAll() (simulated replay
+// backend: replay graphs want the full batch vector) or WaitBatch(k) per
+// batch (real-thread backend: per-seq gates). `batches()` is valid right
+// after Start() as a vector of skeletons — seq and files (the metadata
+// replay builders price IO with) are filled in; records appear when each
+// batch is published. The loader must outlive every consumer of the
+// batches: records point into the fragment storage it owns.
+class PipelinedLogLoader {
+ public:
+  PipelinedLogLoader(logging::LogScheme scheme,
+                     std::vector<device::StorageDevice*> devices,
+                     exec::ThreadPool* pool, LogPipelineOptions options);
+  ~PipelinedLogLoader();
+  PACMAN_DISALLOW_COPY_AND_MOVE(PipelinedLogLoader);
+
+  // Plans from the device listings and submits the reader jobs.
+  void Start();
+
+  size_t num_batches() const { return batches_.size(); }
+  // Skeletons after Start(); records filled per batch as it is merged.
+  // Synchronization: a batch's records may be read only after WaitBatch
+  // returned it (or WaitAll returned), which establishes the
+  // happens-before edge.
+  const std::vector<GlobalBatch>& batches() const { return batches_; }
+
+  // Blocks until batch `index` (position in ascending-seq order) is
+  // merged and verified. Returns nullptr when the pipeline failed before
+  // publishing it (see status()).
+  const GlobalBatch* WaitBatch(size_t index);
+
+  // Blocks until every batch is published (or the pipeline failed) and
+  // the pool finished all pipeline jobs. Returns the first error.
+  Status WaitAll();
+
+  // First error, if any. Stable once WaitAll returned.
+  Status status() const;
+  // The first error's message, in storage that outlives the call (for
+  // PACMAN_CHECK_MSG). Meaningful only after a WaitBatch/WaitAll that
+  // observed the failure.
+  const char* error_message() const { return error_message_.c_str(); }
+
+  // Aggregates over ALL raw records (including ones filtered out by the
+  // checkpoint/pepoch cuts). Valid after WaitAll().
+  Timestamp max_commit_ts() const { return max_commit_ts_; }
+  Epoch max_record_epoch() const { return max_record_epoch_; }
+  // Records stamped beyond the pepoch watermark ("zombies", Appendix A).
+  uint64_t zombie_records() const { return zombie_records_; }
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  void ReadDeviceStream(uint32_t device_index,
+                        const std::vector<size_t>& file_indices);
+  // Records one fragment's parse result. Called with mu_ held via `lk`.
+  void OnFragmentParsedLocked(std::unique_lock<std::mutex>& lk,
+                              size_t file_index, Status s);
+  // Merges and publishes every ready seq starting at merge_next_. Called
+  // with `lk` held; temporarily releases it around the merge itself.
+  void DrainReadySeqs(std::unique_lock<std::mutex>& lk);
+
+  const logging::LogScheme scheme_;
+  const std::vector<device::StorageDevice*> devices_;
+  exec::ThreadPool* const pool_;
+  const LogPipelineOptions options_;
+
+  LogLoadPlan plan_;
+  // Parsed fragments, parallel to plan_.files. Stable storage: the
+  // GlobalBatch record pointers point into these.
+  std::vector<logging::LogBatch> fragments_;
+  std::vector<GlobalBatch> batches_;  // Parallel to plan_.seqs.
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<size_t> pending_;  // Unparsed fragments per seq index.
+  size_t merge_next_ = 0;        // Next seq index to merge/publish.
+  bool merger_active_ = false;
+  bool failed_ = false;
+  size_t jobs_outstanding_ = 0;  // Reader + deserialize jobs in flight.
+  Status error_;
+  std::string error_message_;  // Stable storage for PACMAN_CHECK_MSG.
+  PerKeyOrderVerifier verifier_;
+
+  // Aggregates, owned by the (serialized) merge stage.
+  Timestamp max_commit_ts_ = 0;
+  Epoch max_record_epoch_ = 0;
+  uint64_t zombie_records_ = 0;
+  uint64_t total_records_ = 0;
+};
+
+// Adds one zero-cost gate task per global batch to `graph`, chained
+// gate(k-1) -> gate(k), whose dispatch blocks until `loader` publishes
+// batch k. Replay builders edge gate(k) in front of batch k's tasks, so
+// a real-thread replay run starts batch k the moment the pipeline merges
+// it while later batches are still loading. The chain keeps at most one
+// pool worker blocked in a gate at a time; the loader runs on its own
+// pool, so the blocked worker cannot starve the load. Aborts loudly if
+// the pipeline failed (corrupt batch file).
+std::vector<sim::TaskId> AddBatchGates(PipelinedLogLoader* loader,
+                                       sim::TaskGraph* graph,
+                                       sim::GroupId group);
+
+// Parallel checkpoint-stripe load: submits one read+deserialize job per
+// stripe of `meta` to `pool`; the checkpoint-recovery graph consumes the
+// stripes via WaitStripe as they arrive. Read errors abort loudly (same
+// contract as the previous in-task PACMAN_CHECK).
+class CheckpointPrefetch {
+ public:
+  CheckpointPrefetch(const logging::CheckpointMeta& meta,
+                     const logging::Checkpointer* checkpointer,
+                     exec::ThreadPool* pool);
+  ~CheckpointPrefetch();
+  PACMAN_DISALLOW_COPY_AND_MOVE(CheckpointPrefetch);
+
+  // Blocks until stripe (ssd_index, file_index) is loaded; the caller
+  // takes ownership of the stripe contents (the slot is released).
+  logging::CheckpointStripe TakeStripe(uint32_t ssd_index,
+                                       uint32_t file_index);
+
+ private:
+  const logging::CheckpointMeta meta_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<logging::CheckpointStripe>> stripes_;
+  std::vector<uint8_t> ready_;
+  size_t jobs_outstanding_ = 0;
+};
+
+}  // namespace pacman::recovery
+
+#endif  // PACMAN_RECOVERY_LOG_PIPELINE_H_

@@ -1,7 +1,6 @@
 #include "recovery/recovery.h"
 
 #include <algorithm>
-#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -23,54 +22,93 @@ const char* SchemeName(Scheme s) {
   return "?";
 }
 
-std::vector<GlobalBatch> MergeBatches(
-    const std::vector<logging::LogBatch>& batches, uint32_t num_ssds,
-    Timestamp checkpoint_ts, Epoch pepoch) {
-  std::map<uint64_t, GlobalBatch> by_seq;
-  for (const logging::LogBatch& b : batches) {
-    GlobalBatch& g = by_seq[b.seq];
-    g.seq = b.seq;
-    g.files.emplace_back(b.logger_id % num_ssds, b.file_bytes);
+void MergeBatchGroup(const logging::LogBatch* const* fragments, size_t n,
+                     uint32_t num_ssds, Timestamp checkpoint_ts, Epoch pepoch,
+                     GlobalBatch* out) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += fragments[i]->records.size();
+  out->records.reserve(total);
+  out->files.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const logging::LogBatch& b = *fragments[i];
+    out->seq = b.seq;
+    out->files.emplace_back(b.logger_id % num_ssds, b.file_bytes);
     for (const logging::LogRecord& r : b.records) {
       if (r.commit_ts > checkpoint_ts && r.epoch <= pepoch) {
-        g.records.push_back(&r);
+        out->records.push_back(&r);
       }
     }
   }
+  std::sort(out->records.begin(), out->records.end(),
+            [](const logging::LogRecord* a, const logging::LogRecord* b) {
+              return a->commit_ts < b->commit_ts;
+            });
+}
+
+std::vector<GlobalBatch> MergeBatches(
+    const std::vector<logging::LogBatch>& batches, uint32_t num_ssds,
+    Timestamp checkpoint_ts, Epoch pepoch) {
+  // Group consecutive runs of equal seq. The input is already in global
+  // reload order (LoadAllBatches sorts by (seq, logger)), so grouping is
+  // a linear scan — no ordered-map copy of every batch.
+  std::vector<const logging::LogBatch*> ordered;
+  ordered.reserve(batches.size());
+  for (const logging::LogBatch& b : batches) ordered.push_back(&b);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const logging::LogBatch* a, const logging::LogBatch* b) {
+              if (a->seq != b->seq) return a->seq < b->seq;
+              return a->logger_id < b->logger_id;
+            });
   std::vector<GlobalBatch> out;
-  for (auto& [seq, g] : by_seq) {
-    std::sort(g.records.begin(), g.records.end(),
-              [](const logging::LogRecord* a, const logging::LogRecord* b) {
-                return a->commit_ts < b->commit_ts;
-              });
+  size_t i = 0;
+  while (i < ordered.size()) {
+    size_t j = i;
+    while (j < ordered.size() && ordered[j]->seq == ordered[i]->seq) ++j;
+    GlobalBatch g;
+    MergeBatchGroup(ordered.data() + i, j - i, num_ssds, checkpoint_ts,
+                    pepoch, &g);
     out.push_back(std::move(g));
+    i = j;
   }
   return out;
 }
 
-Status VerifyPerKeyCommitOrder(const std::vector<GlobalBatch>& batches) {
-  // (table, key) packed the way clr_p.cc packs conflict-chain keys:
-  // workload keys stay under 56 bits, so the packing is exact.
-  std::unordered_map<uint64_t, Timestamp> last_cts;
-  for (const GlobalBatch& batch : batches) {
-    for (const logging::LogRecord* rec : batch.records) {
-      for (const logging::WriteImage& img : rec->writes) {
-        const uint64_t packed =
-            (static_cast<uint64_t>(img.table) << 56) | img.key;
-        auto [it, inserted] = last_cts.emplace(packed, rec->commit_ts);
-        if (!inserted) {
-          if (it->second >= rec->commit_ts) {
-            return Status::Corruption(
-                "per-key commit order violated: table " +
-                std::to_string(img.table) + " key " +
-                std::to_string(img.key) + " has TID " +
-                std::to_string(rec->commit_ts) + " after TID " +
-                std::to_string(it->second));
-          }
-          it->second = rec->commit_ts;
+Status PerKeyOrderVerifier::Check(const GlobalBatch& batch) {
+  for (const logging::LogRecord* rec : batch.records) {
+    for (const logging::WriteImage& img : rec->writes) {
+      // (table, key) packed the way clr_p.cc packs conflict-chain keys:
+      // workload keys stay under 56 bits, so the packing is exact.
+      const uint64_t packed =
+          (static_cast<uint64_t>(img.table) << 56) | img.key;
+      auto [it, inserted] = last_cts_.emplace(packed, rec->commit_ts);
+      if (!inserted) {
+        if (it->second >= rec->commit_ts) {
+          return Status::Corruption(
+              "per-key commit order violated: table " +
+              std::to_string(img.table) + " key " +
+              std::to_string(img.key) + " has TID " +
+              std::to_string(rec->commit_ts) + " after TID " +
+              std::to_string(it->second));
         }
+        it->second = rec->commit_ts;
       }
     }
+  }
+  return Status::Ok();
+}
+
+Status VerifyPerKeyCommitOrder(const std::vector<GlobalBatch>& batches) {
+  PerKeyOrderVerifier verifier;
+  size_t writes = 0;
+  for (const GlobalBatch& batch : batches) {
+    for (const logging::LogRecord* rec : batch.records) {
+      writes += rec->writes.size();
+    }
+  }
+  verifier.Reserve(writes);
+  for (const GlobalBatch& batch : batches) {
+    Status s = verifier.Check(batch);
+    if (!s.ok()) return s;
   }
   return Status::Ok();
 }

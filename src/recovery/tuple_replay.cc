@@ -22,7 +22,8 @@ void BuildTupleLogReplay(Scheme scheme,
                          const std::vector<device::StorageDevice*>& ssds,
                          storage::Catalog* catalog,
                          const RecoveryOptions& options,
-                         sim::TaskGraph* graph, RecoveryCounters* counters) {
+                         sim::TaskGraph* graph, RecoveryCounters* counters,
+                         const std::vector<sim::TaskId>* batch_gates) {
   PACMAN_CHECK(scheme == Scheme::kPlr || scheme == Scheme::kLlr ||
                scheme == Scheme::kLlrP);
   const CostModel cm = options.costs;
@@ -44,7 +45,8 @@ void BuildTupleLogReplay(Scheme scheme,
   std::vector<sim::TaskId> prev_partition(n_threads, sim::kInvalidTask);
   std::vector<sim::TaskId> replay_tasks;  // For PLR's final index rebuild.
 
-  for (const GlobalBatch& batch : batches) {
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const GlobalBatch& batch = batches[bi];
     // IO: each member file read from its device.
     std::vector<sim::TaskId> ios;
     for (const auto& [ssd_index, bytes] : batch.files) {
@@ -53,8 +55,9 @@ void BuildTupleLogReplay(Scheme scheme,
           io_cost, [counters, io_cost]() { counters->AddLoading(io_cost); },
           SsdGroup(ssd_index), /*priority=*/batch.seq));
     }
-    // Deserialize: one CPU task per batch (records were parsed at build
-    // time by LoadAllBatches; the virtual cost is charged here).
+    // Deserialize: one CPU task per batch (records are parsed by the
+    // loader — serially before the run, or by the streaming pipeline
+    // gating this batch; the virtual cost is charged here).
     size_t batch_bytes = 0;
     for (const auto& [ssd_index, bytes] : batch.files) batch_bytes += bytes;
     const double deser_cost =
@@ -64,44 +67,64 @@ void BuildTupleLogReplay(Scheme scheme,
         [counters, deser_cost]() { counters->AddLoading(deser_cost); }, cpu,
         batch.seq);
     for (sim::TaskId io : ios) graph->AddEdge(io, deser);
+    if (batch_gates != nullptr) graph->AddEdge((*batch_gates)[bi], deser);
     if (reload_only) continue;
 
-    // Partition the batch's writes across threads. PLR/LLR: round-robin
-    // (any thread may touch any tuple -> latches + LWW). LLR-P: by key
-    // hash (each key owned by one partition -> latch-free, in order).
+    // Partition the batch's writes across threads, at dispatch time (the
+    // records may not exist yet when the graph is built — the streaming
+    // pipeline publishes them behind this batch's gate). PLR/LLR:
+    // round-robin (any thread may touch any tuple -> latches + LWW).
+    // LLR-P: by key hash (each key owned by one partition -> latch-free,
+    // in order).
     auto partitions =
         std::make_shared<std::vector<std::vector<ReplayWrite>>>(n_threads);
-    uint64_t rr = 0;
-    for (const logging::LogRecord* rec : batch.records) {
-      for (const logging::WriteImage& img : rec->writes) {
-        size_t p;
-        if (scheme == Scheme::kLlrP) {
-          uint64_t h = (img.key * 0x9e3779b97f4a7c15ull) ^
-                       (static_cast<uint64_t>(img.table) * 0xc2b2ae3d27d4eb4full);
-          p = h % n_threads;
-        } else {
-          p = rr++ % n_threads;
-        }
-        (*partitions)[p].push_back({&img, rec->commit_ts});
+    const GlobalBatch* b = &batch;
+    sim::TaskId part = graph->AddTask(0.0, nullptr, cpu, batch.seq);
+    graph->task(part).dynamic_work = [b, partitions, scheme, n_threads,
+                                      counters]() -> double {
+      size_t total_writes = 0;
+      for (const logging::LogRecord* rec : b->records) {
+        total_writes += rec->writes.size();
       }
-    }
-    counters->AddRecords(batch.records.size());
+      for (auto& p : *partitions) {
+        p.reserve(total_writes / n_threads + 1);
+      }
+      uint64_t rr = 0;
+      for (const logging::LogRecord* rec : b->records) {
+        for (const logging::WriteImage& img : rec->writes) {
+          size_t p;
+          if (scheme == Scheme::kLlrP) {
+            uint64_t h =
+                (img.key * 0x9e3779b97f4a7c15ull) ^
+                (static_cast<uint64_t>(img.table) * 0xc2b2ae3d27d4eb4full);
+            p = h % n_threads;
+          } else {
+            p = rr++ % n_threads;
+          }
+          (*partitions)[p].push_back({&img, rec->commit_ts});
+        }
+      }
+      counters->AddRecords(b->records.size());
+      return 0.0;
+    };
+    graph->AddEdge(deser, part);
 
     for (uint32_t p = 0; p < n_threads; ++p) {
-      if ((*partitions)[p].empty()) continue;
-      const double cost = static_cast<double>((*partitions)[p].size()) *
-                          (write_cost + latch_cost);
       sim::TaskId t = graph->AddTask(0.0, nullptr, cpu, batch.seq);
       graph->task(t).dynamic_work = [partitions, p, scheme, catalog,
-                                     counters, cost, latched]() {
+                                     counters, write_cost, latch_cost,
+                                     latched]() -> double {
         const auto& part = (*partitions)[p];
+        if (part.empty()) return 0.0;
+        const double cost = static_cast<double>(part.size()) *
+                            (write_cost + latch_cost);
         for (const ReplayWrite& w : part) {
           storage::Table* table = catalog->GetTable(w.image->table);
           storage::TupleSlot* slot = table->GetOrCreateSlot(w.image->key);
           if (scheme == Scheme::kLlrP) {
             // Keys are partition-owned and their images arrive in
             // ascending commit TID — the per-key invariant the parallel
-            // commit protocol maintains and VerifyPerKeyCommitOrder
+            // commit protocol maintains and the per-key order verifier
             // checked at load time; a global total order is neither
             // guaranteed nor needed. The in-order install below would
             // corrupt the chain on any violation (its begin_ts DCHECK is
@@ -122,7 +145,7 @@ void BuildTupleLogReplay(Scheme scheme,
         counters->AddTuples(part.size());
         return cost;
       };
-      graph->AddEdge(deser, t);
+      graph->AddEdge(part, t);
       if (scheme == Scheme::kLlrP &&
           prev_partition[p] != sim::kInvalidTask) {
         graph->AddEdge(prev_partition[p], t);

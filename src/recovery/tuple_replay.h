@@ -20,13 +20,18 @@ namespace pacman::recovery {
 
 // Appends the log-replay tasks for a tuple-level scheme (kPlr, kLlr or
 // kLlrP) to `graph` using the standard group layout. `batches` must stay
-// alive until the graph has run.
+// alive until the graph has run; their `records` are only read at
+// dispatch time, so with `batch_gates` (one gate task per batch, from
+// AddBatchGates) the batches may still be loading when the graph is
+// built — each batch's tasks are edged behind its gate.
 void BuildTupleLogReplay(Scheme scheme,
                          const std::vector<GlobalBatch>& batches,
                          const std::vector<device::StorageDevice*>& ssds,
                          storage::Catalog* catalog,
                          const RecoveryOptions& options,
-                         sim::TaskGraph* graph, RecoveryCounters* counters);
+                         sim::TaskGraph* graph, RecoveryCounters* counters,
+                         const std::vector<sim::TaskId>* batch_gates =
+                             nullptr);
 
 }  // namespace pacman::recovery
 

@@ -113,7 +113,8 @@ TEST_F(InterpreterTest, TransferMovesMoney) {
   access.set_commit_ts(10);
   const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
   // User 0's spouse is user 1 (single_fraction = 0).
-  ProcState state(&transfer, {Value(int64_t{0}), Value(100.0)});
+  std::vector<Value> args = {Value(int64_t{0}), Value(100.0)};
+  ProcState state(&transfer, &args);
   ASSERT_TRUE(ExecuteAll(&state, &access).ok());
 
   Row src, dst, sav;
@@ -132,8 +133,8 @@ TEST_F(InterpreterTest, GuardSkipsBody) {
   ReplayAccess access(&catalog_, InstallMode::kUnlatched);
   access.set_commit_ts(10);
   const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
-  ProcState state(&deposit,
-                  {Value(int64_t{5}), Value(1.0), Value(int64_t{2})});
+  std::vector<Value> args = {Value(int64_t{5}), Value(1.0), Value(int64_t{2})};
+  ProcState state(&deposit, &args);
   ASSERT_TRUE(ExecuteAll(&state, &access).ok());
   EXPECT_EQ(access.writes(), 1u);
   Row stats;
@@ -145,8 +146,8 @@ TEST_F(InterpreterTest, GuardTriggersBody) {
   ReplayAccess access(&catalog_, InstallMode::kUnlatched);
   access.set_commit_ts(10);
   const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
-  ProcState state(&deposit,
-                  {Value(int64_t{5}), Value(20000.0), Value(int64_t{2})});
+  std::vector<Value> args = {Value(int64_t{5}), Value(20000.0), Value(int64_t{2})};
+  ProcState state(&deposit, &args);
   ASSERT_TRUE(ExecuteAll(&state, &access).ok());
   EXPECT_EQ(access.writes(), 3u);
   Row stats;
@@ -159,7 +160,8 @@ TEST_F(InterpreterTest, ExecuteOpsSubsetSharesState) {
   ReplayAccess access(&catalog_, InstallMode::kUnlatched);
   access.set_commit_ts(10);
   const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
-  ProcState state(&transfer, {Value(int64_t{2}), Value(50.0)});
+  std::vector<Value> args = {Value(int64_t{2}), Value(50.0)};
+  ProcState state(&transfer, &args);
   ASSERT_TRUE(ExecuteOps({0}, &state, &access).ok());  // Family read.
   EXPECT_TRUE(state.present[0]);
   ASSERT_TRUE(ExecuteOps({1, 2, 3, 4, 5, 6}, &state, &access).ok());
@@ -170,7 +172,8 @@ TEST_F(InterpreterTest, ExecuteOpsSubsetSharesState) {
 
 TEST_F(InterpreterTest, AccessSetResolvableAfterUpstreamRead) {
   const ProcedureDef& transfer = registry_.Get(bank_.transfer_id());
-  ProcState state(&transfer, {Value(int64_t{0}), Value(10.0)});
+  std::vector<Value> args = {Value(int64_t{0}), Value(10.0)};
+  ProcState state(&transfer, &args);
 
   // Ops 1-4 (Current accesses) use dst = F(l0, 0): unresolved until the
   // Family read ran.
@@ -189,8 +192,8 @@ TEST_F(InterpreterTest, AccessSetResolvableAfterUpstreamRead) {
 
 TEST_F(InterpreterTest, AccessSetOmitsGuardedOutOps) {
   const ProcedureDef& deposit = registry_.Get(bank_.deposit_id());
-  ProcState state(&deposit,
-                  {Value(int64_t{5}), Value(1.0), Value(int64_t{0})});
+  std::vector<Value> args = {Value(int64_t{5}), Value(1.0), Value(int64_t{0})};
+  ProcState state(&deposit, &args);
   ReplayAccess access(&catalog_, InstallMode::kUnlatched);
   access.set_commit_ts(5);
   ASSERT_TRUE(ExecuteOps({0}, &state, &access).ok());  // Read Current.
