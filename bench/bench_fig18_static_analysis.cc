@@ -3,12 +3,17 @@
 // disabled (coarse-grained block parallelism only), threads 1-8.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pacman::bench;
+  pacman::CommonFlags defaults;
+  defaults.txns = 6000;
+  const pacman::CommonFlags flags =
+      pacman::ParseCommonFlags(argc, argv, defaults);
+  SetDeviceFlags(flags);
   PrintTitle("Fig. 18 - Static analysis vs transaction chopping (TPC-C)");
 
   Env env = MakeTpccEnv(pacman::logging::LogScheme::kCommand);
-  const uint64_t hash = RunWorkload(&env, 6000);
+  const uint64_t hash = RunWorkload(&env, flags.txns, 0.0, flags.seed);
   pacman::analysis::GlobalDependencyGraph chopping_gdg =
       env.db->BuildChoppingGdg();
   std::printf("PACMAN GDG: %zu blocks; chopping GDG: %zu blocks\n",
@@ -36,11 +41,18 @@ int main() {
                           .log.seconds;
     }
     std::printf("%-8u %18.4f %22.4f\n", threads, pacman_time, chopping_time);
+    RecordJson({"fig18_static_analysis", "pacman_static", threads,
+                static_cast<uint64_t>(flags.txns), 0.0, 0.0, 0.0, 0.0,
+                pacman_time});
+    RecordJson({"fig18_static_analysis", "chopping", threads,
+                static_cast<uint64_t>(flags.txns), 0.0, 0.0, 0.0, 0.0,
+                chopping_time});
   }
   std::printf(
       "\nExpected shape (paper): static analysis alone speeds up recovery\n"
       "until the block count caps the parallelism (~3 threads), then goes\n"
       "flat; chopping is always slower because its decomposition is\n"
       "coarser.\n");
+  WriteJsonReport(flags.json, "fig18_static_analysis");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "proc/exec_arena.h"
 #include "recovery/checkpoint_recovery.h"
 #include "recovery/clr.h"
 #include "recovery/clr_p.h"
@@ -138,6 +139,14 @@ void Database::FinalizeSchema() {
     ldgs_.push_back(analysis::BuildLocalGraph(def));
   }
   gdg_ = analysis::BuildGlobalGraph(ldgs_, registry_.procedures());
+  if (options_.compiled_procedures) {
+    // Compile every procedure to register bytecode, folding the static
+    // analysis (slice and chopping piece boundaries, read/write
+    // footprints) into each program's summary.
+    std::vector<analysis::LocalDependencyGraph> chopping =
+        analysis::BuildChoppingGraphs(registry_.procedures());
+    programs_.Build(registry_, &catalog_, ldgs_, chopping);
+  }
   schema_finalized_ = true;
 }
 
@@ -184,6 +193,17 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
   PACMAN_CHECK(!crashed());
   PACMAN_CHECK_MSG(proc < registry_.size(), "unknown procedure id");
   const proc::ProcedureDef& def = registry_.Get(proc);
+  const proc::CompiledProgram* prog = nullptr;
+  if (options_.compiled_procedures) {
+    PACMAN_CHECK_MSG(
+        programs_.compiled() && proc < programs_.size(),
+        "compiled_procedures requires FinalizeSchema() after registering "
+        "every procedure and before Execute");
+    prog = &programs_.Get(proc);
+  }
+  // Per-worker arena: registers, locals and row scratch recycled across
+  // transactions (zero steady-state allocation).
+  thread_local proc::ExecArena arena;
   TxnResult result;
   result.status = Status::Internal("not attempted");
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
@@ -191,8 +211,18 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
     result.attempts++;
     txn::Transaction t = txn_manager_.Begin();
     proc::TxnAccess access(&catalog_, &t);
-    proc::ProcState state(&def, &params);
-    Status s = proc::ExecuteAll(&state, &access);
+    proc::VmState vm;
+    proc::ProcState state;
+    Status s;
+    if (prog != nullptr) {
+      t.ReserveFootprint(prog->summary.num_reads, prog->summary.num_writes);
+      if (!prog->summary.writes_may_alias) t.MarkWritesDistinct();
+      vm = arena.Bind(*prog, &params);
+      s = proc::VmExecuteAll(&vm, &access);
+    } else {
+      state = proc::ProcState(&def, &params);
+      s = proc::ExecuteAll(&state, &access);
+    }
     if (!s.ok()) {
       result.status = s;
       return result;
@@ -207,7 +237,10 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
       // The Emit() outputs of the committed attempt: evaluated from the
       // attempt's validated snapshot reads, so they are exactly the values
       // the committed serial order produced.
-      if (!def.results.empty()) result.values = proc::EvalResults(state);
+      if (!def.results.empty()) {
+        result.values = prog != nullptr ? proc::VmEvalResults(&vm)
+                                        : proc::EvalResults(state);
+      }
       const uint64_t commits =
           num_commits_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.commits_per_epoch != 0 &&
@@ -442,7 +475,8 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
         break;
       case recovery::Scheme::kClr:
         recovery::BuildClrReplay(*batches, devices, &catalog_, &registry_,
-                                 log_opts, &graph, &counters, gates_ptr);
+                                 log_opts, &graph, &counters, gates_ptr,
+                                 &programs_);
         break;
       case recovery::Scheme::kClrP: {
         const analysis::GlobalDependencyGraph* gdg =
@@ -464,7 +498,7 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
         }
         recovery::BuildClrPReplay(*gdg, *batches, devices, &catalog_,
                                   &registry_, log_opts, layout, &graph,
-                                  &counters, gates_ptr);
+                                  &counters, gates_ptr, &programs_);
         machine_config = layout.machine;
         break;
       }

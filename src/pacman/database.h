@@ -41,6 +41,7 @@
 #include "device/storage_device.h"
 #include "logging/checkpointer.h"
 #include "logging/log_manager.h"
+#include "proc/compiler.h"
 #include "proc/interpreter.h"
 #include "proc/registry.h"
 #include "pacman/session.h"
@@ -76,6 +77,11 @@ struct DatabaseOptions {
   // caller drives epochs via AdvanceEpoch().
   uint32_t commits_per_epoch = 200;
   uint32_t ckpt_files_per_ssd = 8;
+  // Execute procedures through the register-bytecode VM compiled at
+  // FinalizeSchema() time (proc/compiler.h). Off = the expression-tree
+  // interpreter, kept as the parity oracle (tests/bytecode_test.cc pins
+  // the two bit-identical).
+  bool compiled_procedures = true;
 };
 
 // How recovery graphs execute: on the deterministic simulated multicore
@@ -166,6 +172,8 @@ class Database {
   const std::vector<analysis::LocalDependencyGraph>& ldgs() const {
     return ldgs_;
   }
+  // Compiled programs (built by FinalizeSchema when compiled_procedures).
+  const proc::ProgramSet& programs() const { return programs_; }
   // Transaction-chopping GDG over the same procedures (Fig. 18 baseline).
   analysis::GlobalDependencyGraph BuildChoppingGdg() const;
 
@@ -263,6 +271,7 @@ class Database {
 
   std::vector<analysis::LocalDependencyGraph> ldgs_;
   analysis::GlobalDependencyGraph gdg_;
+  proc::ProgramSet programs_;
   bool schema_finalized_ = false;
 
   std::unique_ptr<TxnService> service_;  // Non-null while workers run.

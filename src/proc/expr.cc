@@ -50,8 +50,6 @@ ExprPtr Expr::Pack(std::vector<ExprPtr> children, std::vector<int> bits) {
   return e;
 }
 
-namespace {
-
 bool ValueTruthy(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
@@ -75,8 +73,6 @@ int CompareValues(const Value& a, const Value& b) {
   if (da > db) return 1;
   return 0;
 }
-
-}  // namespace
 
 Value Expr::Eval(const EvalContext& ctx) const {
   switch (kind_) {

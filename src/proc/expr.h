@@ -22,6 +22,14 @@ namespace pacman::proc {
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+// Truthiness and ordering semantics shared by the tree interpreter and the
+// bytecode VM (proc/bytecode.h). Keeping one definition is what makes the
+// compiled path bit-identical to the interpreted one: Null and empty
+// strings are falsy, comparisons are numeric unless both sides are
+// strings.
+bool ValueTruthy(const Value& v);
+int CompareValues(const Value& a, const Value& b);
+
 // Evaluation inputs: procedure parameters plus the local rows produced by
 // earlier read operations. `local_present[i]` is false if the defining
 // read missed (the row did not exist) or has not executed yet.
@@ -70,6 +78,9 @@ class Expr {
   ExprKind kind() const { return kind_; }
   int index() const { return index_; }
   int column() const { return column_; }
+  const Value& constant() const { return constant_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::vector<int>& pack_bits() const { return pack_bits_; }
 
   // Evaluates to a Value. Field access on an absent local yields Null.
   Value Eval(const EvalContext& ctx) const;

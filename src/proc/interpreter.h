@@ -24,13 +24,27 @@
 
 namespace pacman::proc {
 
-// Abstract data access used by the interpreter.
+// Abstract data access used by the interpreter and the bytecode VM.
 class AccessContext {
  public:
   virtual ~AccessContext() = default;
   virtual Status Read(TableId table, Key key, Row* out) = 0;
   virtual void Write(TableId table, Key key, Row row, bool deleted,
                      bool is_insert) = 0;
+
+  // Pre-resolved-table fast path used by compiled programs: the compiler
+  // caches the catalog_->GetTable(table) descent once per (program, table)
+  // at FinalizeSchema() time. Contexts that can use the pointer directly
+  // override these; the defaults fall back to the TableId virtuals so any
+  // context keeps working unmodified.
+  virtual Status ReadTable(storage::Table* /*t*/, TableId table, Key key,
+                           Row* out) {
+    return Read(table, key, out);
+  }
+  virtual void WriteTable(storage::Table* /*t*/, TableId table, Key key,
+                          Row row, bool deleted, bool is_insert) {
+    Write(table, key, std::move(row), deleted, is_insert);
+  }
 };
 
 // Forward-processing access: routes through an optimistic Transaction.
@@ -40,11 +54,20 @@ class TxnAccess : public AccessContext {
       : catalog_(catalog), txn_(txn) {}
 
   Status Read(TableId table, Key key, Row* out) override {
-    return txn_->Read(catalog_->GetTable(table), key, out);
+    return ReadTable(catalog_->GetTable(table), table, key, out);
   }
   void Write(TableId table, Key key, Row row, bool deleted,
              bool is_insert) override {
-    storage::Table* t = catalog_->GetTable(table);
+    WriteTable(catalog_->GetTable(table), table, key, std::move(row),
+               deleted, is_insert);
+  }
+
+  Status ReadTable(storage::Table* t, TableId /*table*/, Key key,
+                   Row* out) override {
+    return txn_->Read(t, key, out);
+  }
+  void WriteTable(storage::Table* t, TableId /*table*/, Key key, Row row,
+                  bool deleted, bool is_insert) override {
     if (deleted) {
       txn_->Delete(t, key);
     } else if (is_insert) {
@@ -78,15 +101,25 @@ class ReplayAccess : public AccessContext {
   void set_commit_ts(Timestamp cts) { cts_ = cts; }
 
   Status Read(TableId table, Key key, Row* out) override {
-    reads_++;
-    return catalog_->GetTable(table)->Read(key, kMaxTimestamp, out);
+    return ReadTable(catalog_->GetTable(table), table, key, out);
   }
 
   void Write(TableId table, Key key, Row row, bool deleted,
-             bool /*is_insert*/) override {
+             bool is_insert) override {
+    WriteTable(catalog_->GetTable(table), table, key, std::move(row),
+               deleted, is_insert);
+  }
+
+  Status ReadTable(storage::Table* t, TableId /*table*/, Key key,
+                   Row* out) override {
+    reads_++;
+    return t->Read(key, kMaxTimestamp, out);
+  }
+
+  void WriteTable(storage::Table* t, TableId /*table*/, Key key, Row row,
+                  bool deleted, bool /*is_insert*/) override {
     writes_++;
-    storage::TupleSlot* slot =
-        catalog_->GetTable(table)->GetOrCreateSlot(key);
+    storage::TupleSlot* slot = t->GetOrCreateSlot(key);
     switch (mode_) {
       case InstallMode::kLatched:
         latch_acquisitions_++;

@@ -1,6 +1,7 @@
 #include "recovery/clr.h"
 
 #include "common/macros.h"
+#include "proc/exec_arena.h"
 #include "proc/interpreter.h"
 
 namespace pacman::recovery {
@@ -11,7 +12,9 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
                     const proc::ProcedureRegistry* registry,
                     const RecoveryOptions& options, sim::TaskGraph* graph,
                     RecoveryCounters* counters,
-                    const std::vector<sim::TaskId>* batch_gates) {
+                    const std::vector<sim::TaskId>* batch_gates,
+                    const proc::ProgramSet* programs) {
+  if (programs != nullptr && !programs->compiled()) programs = nullptr;
   const CostModel cm = options.costs;
   const auto num_ssds = static_cast<uint32_t>(ssds.size());
   const sim::GroupId cpu = CpuGroup(num_ssds);
@@ -49,8 +52,11 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
     sim::TaskId replay = graph->AddTask(0.0, nullptr, cpu, batch.seq);
     const GlobalBatch* b = &batch;
     graph->task(replay).dynamic_work = [b, catalog, registry, counters,
-                                        cm]() {
+                                        cm, programs]() {
       proc::ReplayAccess access(catalog, proc::InstallMode::kUnlatched);
+      // Replay-thread arena: VM registers/locals/scratch recycled across
+      // all re-executed transactions of this thread.
+      thread_local proc::ExecArena arena;
       double cost = 0.0;
       for (const logging::LogRecord* rec : b->records) {
         access.set_commit_ts(rec->commit_ts);
@@ -61,6 +67,11 @@ void BuildClrReplay(const std::vector<GlobalBatch>& batches,
           for (const logging::WriteImage& img : rec->writes) {
             access.Write(img.table, img.key, img.after, img.deleted, false);
           }
+        } else if (programs != nullptr) {
+          proc::VmState vm =
+              arena.Bind(programs->Get(rec->proc), &rec->params);
+          Status s = proc::VmExecuteAll(&vm, &access);
+          PACMAN_CHECK(s.ok());
         } else {
           proc::ProcState state(&registry->Get(rec->proc), &rec->params);
           Status s = proc::ExecuteAll(&state, &access);

@@ -7,6 +7,7 @@
 #ifndef PACMAN_RECOVERY_CLR_H_
 #define PACMAN_RECOVERY_CLR_H_
 
+#include "proc/compiler.h"
 #include "proc/registry.h"
 #include "recovery/recovery.h"
 #include "sim/task_graph.h"
@@ -15,14 +16,17 @@ namespace pacman::recovery {
 
 // `batches` must stay alive until the graph has run; records are read at
 // dispatch time only, so with `batch_gates` (AddBatchGates) each batch
-// may still be loading when the graph is built.
+// may still be loading when the graph is built. When `programs` holds
+// compiled bytecode (Database::FinalizeSchema with compiled_procedures),
+// re-execution runs through the VM instead of the tree interpreter.
 void BuildClrReplay(const std::vector<GlobalBatch>& batches,
                     const std::vector<device::StorageDevice*>& ssds,
                     storage::Catalog* catalog,
                     const proc::ProcedureRegistry* registry,
                     const RecoveryOptions& options, sim::TaskGraph* graph,
                     RecoveryCounters* counters,
-                    const std::vector<sim::TaskId>* batch_gates = nullptr);
+                    const std::vector<sim::TaskId>* batch_gates = nullptr,
+                    const proc::ProgramSet* programs = nullptr);
 
 }  // namespace pacman::recovery
 

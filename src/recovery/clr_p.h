@@ -16,6 +16,7 @@
 #define PACMAN_RECOVERY_CLR_P_H_
 
 #include "analysis/global_graph.h"
+#include "proc/compiler.h"
 #include "proc/registry.h"
 #include "recovery/recovery.h"
 #include "sim/machine.h"
@@ -51,7 +52,10 @@ ClrPLayout PlanClrPLayout(const analysis::GlobalDependencyGraph& gdg,
 // `options.mode` selects static-only / synchronous / pipelined execution.
 // `batches` must stay alive until the graph has run; records are read at
 // dispatch time only, so with `batch_gates` (AddBatchGates) each batch
-// may still be loading when the graph is built.
+// may still be loading when the graph is built. When `programs` holds
+// compiled bytecode, pieces execute through the VM: per-transaction
+// locals are shared across the replay threads (exactly like ProcState)
+// while registers and scratch stay thread-private in each thread's arena.
 void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const std::vector<GlobalBatch>& batches,
                      const std::vector<device::StorageDevice*>& ssds,
@@ -60,7 +64,8 @@ void BuildClrPReplay(const analysis::GlobalDependencyGraph& gdg,
                      const RecoveryOptions& options,
                      const ClrPLayout& layout, sim::TaskGraph* graph,
                      RecoveryCounters* counters,
-                     const std::vector<sim::TaskId>* batch_gates = nullptr);
+                     const std::vector<sim::TaskId>* batch_gates = nullptr,
+                     const proc::ProgramSet* programs = nullptr);
 
 }  // namespace pacman::recovery
 

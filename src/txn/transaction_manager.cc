@@ -34,7 +34,7 @@ void Transaction::Delete(storage::Table* table, Key key) {
 }
 
 void Transaction::CoalesceWrites() {
-  if (write_set_.size() < 2) return;
+  if (!needs_coalesce_ || write_set_.size() < 2) return;
   std::vector<WriteEntry> coalesced;
   coalesced.reserve(write_set_.size());
   for (size_t i = 0; i < write_set_.size(); ++i) {

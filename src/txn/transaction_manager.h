@@ -92,6 +92,19 @@ class Transaction {
   // per commit timestamp. Called by Commit; idempotent.
   void CoalesceWrites();
 
+  // Pre-sizes the read/write buffers to the procedure's static footprint
+  // (compiled programs know it exactly) so the hot path never regrows
+  // them mid-body.
+  void ReserveFootprint(size_t reads, size_t writes) {
+    read_set_.reserve(reads);
+    write_set_.reserve(writes);
+  }
+
+  // Declares that no two buffered writes can target the same (table, key).
+  // The compiler proves this when every written table has exactly one
+  // modification op; Commit then skips the quadratic coalesce scan.
+  void MarkWritesDistinct() { needs_coalesce_ = false; }
+
   Timestamp read_ts() const { return read_ts_; }
   const std::vector<WriteEntry>& write_set() const { return write_set_; }
   const std::vector<ReadEntry>& read_set() const { return read_set_; }
@@ -124,6 +137,7 @@ class Transaction {
   ProcId proc_id_ = kAdhocProcId;
   const std::vector<Value>* params_ = nullptr;
   bool is_adhoc_ = true;
+  bool needs_coalesce_ = true;
   WorkerId worker_id_ = kInvalidWorkerId;
 };
 
