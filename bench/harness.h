@@ -199,6 +199,11 @@ struct JsonRow {
   double retries_per_txn = 0.0;
   double lock_waits_per_txn = 0.0;  // Commit slot-lock contention events.
   double seconds = 0.0;        // Wall (forward) or virtual (recovery) time.
+  // Pre-rendered JSON fragment appended inside the row object for
+  // bench-specific fields (e.g. `"p50_us": 12.3, "p99_us": 45.6`). Must
+  // start with a comma when non-empty; empty keeps the row byte-identical
+  // to the historical format.
+  std::string extra;
 };
 
 inline std::vector<JsonRow>& JsonRows() {
@@ -221,11 +226,11 @@ inline void WriteJsonReport(const std::string& path, const char* bench) {
         "    {\"section\": \"%s\", \"scheme\": \"%s\", \"threads\": %u, "
         "\"txns\": %llu, \"txns_per_sec\": %.1f, \"abort_rate\": %.6f, "
         "\"retries_per_txn\": %.6f, \"lock_waits_per_txn\": %.6f, "
-        "\"seconds\": %.6f}%s\n",
+        "\"seconds\": %.6f%s}%s\n",
         r.section.c_str(), r.scheme.c_str(), r.threads,
         static_cast<unsigned long long>(r.txns), r.txns_per_sec,
         r.abort_rate, r.retries_per_txn, r.lock_waits_per_txn, r.seconds,
-        i + 1 < rows.size() ? "," : "");
+        r.extra.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

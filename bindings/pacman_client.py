@@ -1,0 +1,388 @@
+#!/usr/bin/env python3
+"""Pure-stdlib Python client for the PACMAN network front-end.
+
+Speaks the length-prefixed binary protocol of docs/PROTOCOL.md (the one
+src/net/ serves) over a plain TCP socket: handshake, one session per
+connection, procedure lookup by name, calls with typed parameters, and
+the group-commit durability fence. No dependencies beyond ``socket`` and
+``struct``.
+
+    from pacman_client import PacmanClient
+
+    with PacmanClient("127.0.0.1", 7444) as c:
+        deposit = c.get_proc("Deposit")
+        r = c.call(deposit, [7, 250.0, 3])     # int -> i64, float -> f64
+        print(r.values[0])                     # the procedure's Emit()s
+        c.flush()                              # group commit: durable now
+
+Backpressure is a first-class outcome: if the server sheds this client
+(submission queue full, or responses not being drained) every pending and
+future operation raises ``OverloadedError``. A protocol violation raises
+``ProtocolError``; a failed transaction is *not* an exception — inspect
+``CallResult.status``/``.ok``.
+
+Also usable as a CLI against a running ``bank_server``:
+
+    python3 pacman_client.py --port 7444 call Deposit 7 250.0 3
+    python3 pacman_client.py --port 7444 call Transfer 4 10.0
+    python3 pacman_client.py --port 7444 flush
+"""
+
+import socket
+import struct
+
+MAGIC = 0x4D434150  # "PACM", little-endian.
+PROTOCOL_VERSION = 1
+FRAME_LIMIT = 16 << 20
+
+# Client -> server message types.
+MSG_HELLO = 0x01
+MSG_OPEN_SESSION = 0x02
+MSG_GET_PROC = 0x03
+MSG_CALL = 0x04
+MSG_PING = 0x05
+MSG_FLUSH = 0x06
+# Server -> client.
+MSG_HELLO_OK = 0x81
+MSG_SESSION_OPENED = 0x82
+MSG_PROC_INFO = 0x83
+MSG_CALL_RESULT = 0x84
+MSG_ERROR = 0x85
+MSG_OVERLOADED = 0x86
+MSG_PONG = 0x87
+MSG_FLUSH_OK = 0x88
+
+CALL_FLAG_ADHOC = 0x01
+
+STATUS_NAMES = {
+    0: "OK",
+    1: "NOT_FOUND",
+    2: "ALREADY_EXISTS",
+    3: "ABORTED",
+    4: "INVALID_ARGUMENT",
+    5: "CORRUPTION",
+    6: "INTERNAL",
+    7: "OVERLOADED",
+    8: "UNAVAILABLE",
+}
+
+VALUE_NULL, VALUE_INT64, VALUE_DOUBLE, VALUE_STRING = 0, 1, 2, 3
+VALUE_TYPE_NAMES = {0: "null", 1: "int64", 2: "double", 3: "string"}
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the protocol (either side)."""
+
+
+class ServerError(Exception):
+    """The server answered with a fatal kError frame and closed."""
+
+    def __init__(self, status, message):
+        super().__init__("%s: %s" % (STATUS_NAMES.get(status, status), message))
+        self.status = status
+
+
+class OverloadedError(Exception):
+    """The server shed this connection (backpressure)."""
+
+
+class ProcInfo(object):
+    __slots__ = ("name", "id", "param_types")
+
+    def __init__(self, name, proc_id, param_types):
+        self.name = name
+        self.id = proc_id
+        self.param_types = param_types
+
+    def __repr__(self):
+        types = ", ".join(VALUE_TYPE_NAMES.get(t, "?") for t in self.param_types)
+        return "ProcInfo(%r, id=%d, params=[%s])" % (self.name, self.id, types)
+
+
+class CallResult(object):
+    __slots__ = ("request_id", "status", "message", "attempts", "commit_ts",
+                 "values")
+
+    def __init__(self, request_id, status, message, attempts, commit_ts,
+                 values):
+        self.request_id = request_id
+        self.status = status
+        self.message = message
+        self.attempts = attempts
+        self.commit_ts = commit_ts
+        self.values = values
+
+    @property
+    def ok(self):
+        return self.status == 0
+
+    @property
+    def status_name(self):
+        return STATUS_NAMES.get(self.status, str(self.status))
+
+    def __repr__(self):
+        if self.ok:
+            return "CallResult(OK, attempts=%d, values=%r)" % (self.attempts,
+                                                               self.values)
+        return "CallResult(%s, %r)" % (self.status_name, self.message)
+
+
+def _encode_value(v):
+    if v is None:
+        return struct.pack("<B", VALUE_NULL)
+    if isinstance(v, bool):  # bool is an int subclass; reject explicitly.
+        raise TypeError("bool is not a PACMAN value type")
+    if isinstance(v, int):
+        return struct.pack("<Bq", VALUE_INT64, v)
+    if isinstance(v, float):
+        return struct.pack("<Bd", VALUE_DOUBLE, v)
+    if isinstance(v, str):
+        b = v.encode("utf-8")
+        return struct.pack("<BI", VALUE_STRING, len(b)) + b
+    if isinstance(v, bytes):
+        return struct.pack("<BI", VALUE_STRING, len(v)) + v
+    raise TypeError("unsupported value type: %r" % type(v))
+
+
+class _Reader(object):
+    """Cursor over one received payload."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, fmt):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.buf):
+            raise ProtocolError("frame underflow")
+        out = struct.unpack_from(fmt, self.buf, self.pos)
+        self.pos += size
+        return out if len(out) > 1 else out[0]
+
+    def take_string(self):
+        n = self.take("<I")
+        if self.pos + n > len(self.buf):
+            raise ProtocolError("string underflow")
+        out = self.buf[self.pos:self.pos + n].decode("utf-8")
+        self.pos += n
+        return out
+
+    def take_value(self):
+        tag = self.take("<B")
+        if tag == VALUE_NULL:
+            return None
+        if tag == VALUE_INT64:
+            return self.take("<q")
+        if tag == VALUE_DOUBLE:
+            return self.take("<d")
+        if tag == VALUE_STRING:
+            return self.take_string()
+        raise ProtocolError("unknown value tag %d" % tag)
+
+
+class PacmanClient(object):
+    """One connection = one server-side pacman::Session.
+
+    Not thread-safe: use one client per thread, exactly like the C++
+    session API. ``pipeline_*`` give windowed submission for load
+    generation; plain ``call`` is strictly request-response.
+    """
+
+    def __init__(self, host="127.0.0.1", port=7444, timeout=30.0,
+                 open_session=True, rcvbuf=None):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if rcvbuf is not None:  # Small values let tests provoke shedding.
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._recv_buf = b""
+        self._next_request_id = 1
+        self.session_slot = None
+        self._send(struct.pack("<BIB", MSG_HELLO, MAGIC, PROTOCOL_VERSION))
+        r = self._expect(MSG_HELLO_OK)
+        version = r.take("<B")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError("server protocol version %d" % version)
+        if open_session:
+            self.open_session()
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # -- framing -----------------------------------------------------------
+    def _send(self, payload):
+        self._sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+    def _recv_frame(self):
+        while True:
+            if len(self._recv_buf) >= 4:
+                (n,) = struct.unpack_from("<I", self._recv_buf)
+                if n == 0 or n > FRAME_LIMIT:
+                    raise ProtocolError("bad frame length %d" % n)
+                if len(self._recv_buf) >= 4 + n:
+                    payload = self._recv_buf[4:4 + n]
+                    self._recv_buf = self._recv_buf[4 + n:]
+                    return payload
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed by server")
+            self._recv_buf += chunk
+
+    def _expect(self, msg_type):
+        """Receives one frame, translating fatal frames into exceptions."""
+        payload = self._recv_frame()
+        got = payload[0]
+        r = _Reader(payload)
+        r.pos = 1
+        if got == MSG_ERROR:
+            status = r.take("<B")
+            raise ServerError(status, r.take_string())
+        if got == MSG_OVERLOADED:
+            raise OverloadedError(r.take_string())
+        if got != msg_type:
+            raise ProtocolError("expected message 0x%02x, got 0x%02x" %
+                                (msg_type, got))
+        return r
+
+    # -- protocol operations ----------------------------------------------
+    def open_session(self):
+        self._send(struct.pack("<B", MSG_OPEN_SESSION))
+        r = self._expect(MSG_SESSION_OPENED)
+        self.session_slot = r.take("<Q")
+        return self.session_slot
+
+    def get_proc(self, name):
+        b = name.encode("utf-8")
+        self._send(struct.pack("<BI", MSG_GET_PROC, len(b)) + b)
+        r = self._expect(MSG_PROC_INFO)
+        status = r.take("<B")
+        message = r.take_string()
+        if status != 0:
+            raise KeyError(message)
+        proc_id = r.take("<I")
+        nparams = r.take("<I")
+        types = [r.take("<B") for _ in range(nparams)]
+        return ProcInfo(name, proc_id, types)
+
+    def _call_payload(self, proc, args, adhoc):
+        proc_id = proc.id if isinstance(proc, ProcInfo) else int(proc)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        flags = CALL_FLAG_ADHOC if adhoc else 0
+        payload = struct.pack("<BQIBI", MSG_CALL, request_id, proc_id, flags,
+                              len(args))
+        for a in args:
+            payload += _encode_value(a)
+        return request_id, payload
+
+    def call(self, proc, args, adhoc=False):
+        """Runs one transaction and waits for its result."""
+        request_id, payload = self._call_payload(proc, args, adhoc)
+        self._send(payload)
+        result = self._read_call_result()
+        if result.request_id != request_id:
+            raise ProtocolError("response for request %d, expected %d" %
+                                (result.request_id, request_id))
+        return result
+
+    def pipeline_send(self, proc, args, adhoc=False):
+        """Submits without waiting; pair with pipeline_recv (windowed)."""
+        request_id, payload = self._call_payload(proc, args, adhoc)
+        self._send(payload)
+        return request_id
+
+    def pipeline_recv(self):
+        return self._read_call_result()
+
+    def _read_call_result(self):
+        r = self._expect(MSG_CALL_RESULT)
+        request_id = r.take("<Q")
+        status = r.take("<B")
+        message = r.take_string()
+        attempts = r.take("<I")
+        commit_ts = r.take("<Q")
+        nvalues = r.take("<I")
+        values = [r.take_value() for _ in range(nvalues)]
+        return CallResult(request_id, status, message, attempts, commit_ts,
+                          values)
+
+    def ping(self, token=0):
+        self._send(struct.pack("<BQ", MSG_PING, token))
+        r = self._expect(MSG_PONG)
+        echoed = r.take("<Q")
+        if echoed != token:
+            raise ProtocolError("pong token mismatch")
+
+    def flush(self):
+        """Durability fence: on OK return, every previously answered
+        commit on this server is on stable storage (group commit ran)."""
+        self._send(struct.pack("<B", MSG_FLUSH))
+        r = self._expect(MSG_FLUSH_OK)
+        status = r.take("<B")
+        message = r.take_string()
+        if status != 0:
+            raise ServerError(status, message)
+
+
+def _parse_cli_arg(text):
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def main(argv):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Tiny CLI for the PACMAN network front-end")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_call = sub.add_parser("call", help="call PROC ARG... (int/float/str)")
+    p_call.add_argument("proc")
+    p_call.add_argument("args", nargs="*")
+    p_call.add_argument("--adhoc", action="store_true")
+    sub.add_parser("flush", help="group-commit durability fence")
+    sub.add_parser("ping")
+    args = parser.parse_args(argv)
+
+    with PacmanClient(args.host, args.port) as client:
+        if args.cmd == "call":
+            proc = client.get_proc(args.proc)
+            result = client.call(proc,
+                                 [_parse_cli_arg(a) for a in args.args],
+                                 adhoc=args.adhoc)
+            print(result)
+            return 0 if result.ok else 1
+        if args.cmd == "flush":
+            client.flush()
+            print("flushed")
+            return 0
+        if args.cmd == "ping":
+            client.ping(token=42)
+            print("pong")
+            return 0
+    return 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -13,6 +13,10 @@
 //   --json PATH       benches only: also write the run's results as a
 //                     machine-readable JSON report to PATH (bench/harness.h
 //                     RecordJson/WriteJsonReport; ignored by the examples)
+//   --host ADDR       network binaries: IPv4 address to bind / connect to
+//   --port N          network binaries: TCP port (0 = ephemeral; the
+//                     server prints the bound port)
+//   --connections N   network binaries: client connection count (>= 1)
 //
 // Both "--flag value" and "--flag=value" forms are accepted. Binaries pass
 // their own defaults; absent flags keep them. Malformed values and unknown
@@ -26,6 +30,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/macros.h"
+
 namespace pacman {
 
 struct CommonFlags {
@@ -36,6 +42,10 @@ struct CommonFlags {
   std::string device = "sim";  // "sim" or "file".
   std::string log_dir;         // Required when device == "file".
   std::string json;            // Benches: JSON report path ("" = off).
+  // Network binaries (net server / load generator); ignored elsewhere.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;           // 0 = ephemeral (server prints the port).
+  uint32_t connections = 4;    // Client connection count.
 
   bool use_file_device() const { return device == "file"; }
 };
@@ -44,7 +54,8 @@ namespace flags_internal {
 
 inline const char kSupported[] =
     "supported flags: --threads N  --txns N  --seed N  --adhoc F  "
-    "--device sim|file  --log-dir PATH  --json PATH\n";
+    "--device sim|file  --log-dir PATH  --json PATH  --host ADDR  "
+    "--port N  --connections N\n";
 
 [[noreturn]] inline void Usage(const char* flag, const char* want,
                                const char* got) {
@@ -130,6 +141,19 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
         flags_internal::Usage(arg, "a file path", next);
       }
       flags.json = next;
+    } else if (std::strcmp(arg, "--host") == 0) {
+      PACMAN_CHECK_MSG(next != nullptr && next[0] != '\0',
+                       "--host requires a non-empty IPv4 address");
+      flags.host = next;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      const uint64_t v = flags_internal::ParseU64(arg, next, /*min_value=*/0);
+      PACMAN_CHECK_MSG(v <= 65535, "--port must lie in [0, 65535]");
+      flags.port = static_cast<uint16_t>(v);
+    } else if (std::strcmp(arg, "--connections") == 0) {
+      const uint64_t v = flags_internal::ParseU64(arg, next, /*min_value=*/1);
+      PACMAN_CHECK_MSG(v >= 1 && v <= 100000,
+                       "--connections must lie in [1, 100000]");
+      flags.connections = static_cast<uint32_t>(v);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       std::fprintf(stderr, "%s", flags_internal::kSupported);

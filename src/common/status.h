@@ -16,6 +16,8 @@ enum class StatusCode {
   kInvalidArgument,
   kCorruption,     // Log / checkpoint deserialization failure.
   kInternal,
+  kOverloaded,     // Bounded queue / buffer at capacity (backpressure).
+  kUnavailable,    // No executor service (crashed or not started).
 };
 
 // Value-semantic status; cheap to copy in the OK case.
@@ -43,6 +45,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Overloaded(std::string m = "overloaded") {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
+  static Status Unavailable(std::string m = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,10 +1,15 @@
 #include "exec/thread_pool.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "exec/worker_context.h"
 
 namespace pacman::exec {
 
-ThreadPool::ThreadPool(uint32_t num_threads) {
+ThreadPool::ThreadPool(uint32_t num_threads, std::string name_prefix)
+    : name_prefix_(std::move(name_prefix)) {
   PACMAN_CHECK(num_threads >= 1);
   threads_.reserve(num_threads);
   for (WorkerId id = 0; id < num_threads; ++id) {
@@ -36,6 +41,15 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::WorkerLoop(WorkerId id) {
+#if defined(__linux__)
+  if (!name_prefix_.empty()) {
+    // Kernel thread names cap at 15 chars + NUL; truncate the prefix so
+    // the "-<id>" suffix always survives.
+    std::string name =
+        name_prefix_.substr(0, 12) + "-" + std::to_string(id % 100);
+    pthread_setname_np(pthread_self(), name.c_str());
+  }
+#endif
   WorkerScope scope(id);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,7 +24,11 @@ namespace pacman::exec {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(uint32_t num_threads);
+  // `name_prefix`, when non-empty, names the pool's OS threads
+  // "<prefix>-<id>" (visible in /proc, debuggers and sanitizer reports —
+  // a server process runs several pools at once: IO loops, transaction
+  // executors, recovery loaders).
+  explicit ThreadPool(uint32_t num_threads, std::string name_prefix = "");
   // Drains the queue, then joins all workers.
   ~ThreadPool();
   PACMAN_DISALLOW_COPY_AND_MOVE(ThreadPool);
@@ -40,6 +45,7 @@ class ThreadPool {
  private:
   void WorkerLoop(WorkerId id);
 
+  std::string name_prefix_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // Signals workers: work or shutdown.
   std::condition_variable idle_cv_;  // Signals WaitIdle: pool quiesced.

@@ -1,0 +1,149 @@
+#include "net/protocol.h"
+
+namespace pacman::net {
+
+void AppendFrame(const Serializer& payload, std::string* wire) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  wire->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  wire->append(reinterpret_cast<const char*>(payload.data().data()),
+               payload.size());
+}
+
+std::string HelloFrame() {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(MsgType::kHello));
+  s.PutU32(kMagic);
+  s.PutU8(kProtocolVersion);
+  std::string wire;
+  AppendFrame(s, &wire);
+  return wire;
+}
+
+std::string ErrorFrame(const Status& status) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(MsgType::kError));
+  s.PutU8(static_cast<uint8_t>(status.code()));
+  s.PutString(status.message());
+  std::string wire;
+  AppendFrame(s, &wire);
+  return wire;
+}
+
+std::string OverloadedFrame(const std::string& reason) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(MsgType::kOverloaded));
+  s.PutString(reason);
+  std::string wire;
+  AppendFrame(s, &wire);
+  return wire;
+}
+
+std::string CallFrame(uint64_t request_id, uint32_t proc, uint8_t flags,
+                      const std::vector<Value>& args) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(MsgType::kCall));
+  s.PutU64(request_id);
+  s.PutU32(proc);
+  s.PutU8(flags);
+  s.PutU32(static_cast<uint32_t>(args.size()));
+  for (const Value& v : args) s.PutValue(v);
+  std::string wire;
+  AppendFrame(s, &wire);
+  return wire;
+}
+
+Status ParseCall(Deserializer* in, CallRequest* out) {
+  Status s = in->GetU64(&out->request_id);
+  if (s.ok()) s = in->GetU32(&out->proc);
+  if (s.ok()) s = in->GetU8(&out->flags);
+  uint32_t nargs = 0;
+  if (s.ok()) s = in->GetU32(&nargs);
+  if (!s.ok()) return s;
+  if (nargs > kMaxCallArgs) {
+    return Status::Corruption("kCall arity " + std::to_string(nargs) +
+                              " exceeds the protocol limit");
+  }
+  out->args.clear();
+  out->args.reserve(nargs);
+  for (uint32_t i = 0; i < nargs; ++i) {
+    Value v;
+    s = in->GetValue(&v);
+    if (!s.ok()) return s;
+    out->args.push_back(std::move(v));
+  }
+  if (!in->AtEnd()) {
+    return Status::Corruption("kCall frame has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+std::string CallResultFrame(const CallResultMsg& msg) {
+  Serializer s;
+  s.PutU8(static_cast<uint8_t>(MsgType::kCallResult));
+  s.PutU64(msg.request_id);
+  s.PutU8(msg.status);
+  s.PutString(msg.message);
+  s.PutU32(msg.attempts);
+  s.PutU64(msg.commit_ts);
+  s.PutU32(static_cast<uint32_t>(msg.values.size()));
+  for (const Value& v : msg.values) s.PutValue(v);
+  std::string wire;
+  AppendFrame(s, &wire);
+  return wire;
+}
+
+Status ParseCallResult(Deserializer* in, CallResultMsg* out) {
+  Status s = in->GetU64(&out->request_id);
+  if (s.ok()) s = in->GetU8(&out->status);
+  if (s.ok()) s = in->GetString(&out->message);
+  if (s.ok()) s = in->GetU32(&out->attempts);
+  if (s.ok()) s = in->GetU64(&out->commit_ts);
+  uint32_t nvalues = 0;
+  if (s.ok()) s = in->GetU32(&nvalues);
+  if (!s.ok()) return s;
+  out->values.clear();
+  out->values.reserve(nvalues);
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    Value v;
+    s = in->GetValue(&v);
+    if (!s.ok()) return s;
+    out->values.push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return "Hello";
+    case MsgType::kOpenSession:
+      return "OpenSession";
+    case MsgType::kGetProc:
+      return "GetProc";
+    case MsgType::kCall:
+      return "Call";
+    case MsgType::kPing:
+      return "Ping";
+    case MsgType::kFlush:
+      return "Flush";
+    case MsgType::kHelloOk:
+      return "HelloOk";
+    case MsgType::kSessionOpened:
+      return "SessionOpened";
+    case MsgType::kProcInfo:
+      return "ProcInfo";
+    case MsgType::kCallResult:
+      return "CallResult";
+    case MsgType::kError:
+      return "Error";
+    case MsgType::kOverloaded:
+      return "Overloaded";
+    case MsgType::kPong:
+      return "Pong";
+    case MsgType::kFlushOk:
+      return "FlushOk";
+  }
+  return "?";
+}
+
+}  // namespace pacman::net

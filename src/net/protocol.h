@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Wire protocol of the network front-end: length-prefixed binary frames
+// over TCP, reusing the engine's Serializer/Deserializer (little-endian,
+// u32-length-prefixed strings, tagged Values — the exact encoding the log
+// records use, so a Value costs the same bytes on the wire as in a batch
+// file). docs/PROTOCOL.md is the normative spec the Python client
+// (bindings/pacman_client.py) is written against.
+//
+// Frame layout:
+//
+//   u32 payload_len | payload            payload[0] = MsgType
+//
+// A frame longer than the server's max_frame_bytes, an unknown type, or a
+// payload that underflows its fields is a protocol error: the server
+// answers with one kError frame and closes the connection (the session
+// slot is released; the server survives). Backpressure is likewise a
+// frame: kOverloaded, sent before the server sheds a client that filled
+// the submission queue or stopped draining its responses.
+#ifndef PACMAN_NET_PROTOCOL_H_
+#define PACMAN_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serializer.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pacman::net {
+
+// First bytes on the wire, client -> server: 'P' 'A' 'C' 'M' as a
+// little-endian u32, then the protocol version.
+inline constexpr uint32_t kMagic = 0x4D434150u;  // "PACM"
+inline constexpr uint8_t kProtocolVersion = 1;
+
+// Hard ceiling every endpoint enforces regardless of configuration — a
+// length prefix beyond this is garbage, not a large request.
+inline constexpr size_t kFrameLimit = 16u << 20;
+
+// Arity ceiling for kCall: bounds the reserve a hostile nargs can force.
+inline constexpr uint32_t kMaxCallArgs = 1024;
+
+enum class MsgType : uint8_t {
+  // Client -> server.
+  kHello = 0x01,        // u32 magic, u8 version.
+  kOpenSession = 0x02,  // (empty) — one pacman::Session per connection.
+  kGetProc = 0x03,      // string name.
+  kCall = 0x04,         // u64 request_id, u32 proc, u8 flags, u32 n, Values.
+  kPing = 0x05,         // u64 token.
+  kFlush = 0x06,        // (empty) — group-commit flush (durability fence).
+  // Server -> client.
+  kHelloOk = 0x81,        // u8 version.
+  kSessionOpened = 0x82,  // u64 session id (the worker log-buffer slot).
+  kProcInfo = 0x83,       // u8 status, string msg; ok: u32 id, u32 n, tags.
+  kCallResult = 0x84,     // u64 request_id, u8 status, string msg,
+                          // u32 attempts, u64 commit_ts, u32 n, Values.
+  kError = 0x85,          // u8 status, string msg; connection closes.
+  kOverloaded = 0x86,     // string reason; connection closes (shed).
+  kPong = 0x87,           // u64 token.
+  kFlushOk = 0x88,        // u8 status, string msg.
+};
+
+// kCall flag bits.
+inline constexpr uint8_t kCallFlagAdhoc = 0x01;
+
+// Appends one complete frame (length prefix + payload) to `wire`.
+void AppendFrame(const Serializer& payload, std::string* wire);
+
+// Convenience payload builders for the frames more than one component
+// emits (server, C++ load generator, tests).
+std::string HelloFrame();
+std::string ErrorFrame(const Status& status);
+std::string OverloadedFrame(const std::string& reason);
+std::string CallFrame(uint64_t request_id, uint32_t proc, uint8_t flags,
+                      const std::vector<Value>& args);
+
+// Parsed kCall request.
+struct CallRequest {
+  uint64_t request_id = 0;
+  uint32_t proc = 0;
+  uint8_t flags = 0;
+  std::vector<Value> args;
+};
+// Parses the body of a kCall payload (the MsgType byte already consumed).
+Status ParseCall(Deserializer* in, CallRequest* out);
+
+// Parsed kCallResult response (client side: load generator, tests).
+struct CallResultMsg {
+  uint64_t request_id = 0;
+  uint8_t status = 0;
+  std::string message;
+  uint32_t attempts = 0;
+  uint64_t commit_ts = 0;
+  std::vector<Value> values;
+};
+std::string CallResultFrame(const CallResultMsg& msg);
+Status ParseCallResult(Deserializer* in, CallResultMsg* out);
+
+// Human-readable message-type name for error reporting.
+const char* MsgTypeName(MsgType t);
+
+}  // namespace pacman::net
+
+#endif  // PACMAN_NET_PROTOCOL_H_

@@ -74,7 +74,16 @@ Database::Database(DatabaseOptions options)
   }
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Stop a still-running executor pool before any member is destroyed:
+  // members die in reverse declaration order, so ~TxnService (declared
+  // mid-class) would otherwise return its worker slots into an already
+  // destructed free_worker_slots_. Reached whenever a pool established by
+  // EnsureWorkers (e.g. by a network front-end) outlives explicit
+  // StopWorkers calls.
+  std::unique_lock<std::shared_mutex> l(service_mu_);
+  service_.reset();
+}
 
 std::unique_ptr<Session> Database::OpenSession() {
   // Cannot use make_unique: the constructor is private to Database.
@@ -96,6 +105,7 @@ ProcHandle Database::Register(proc::ProcedureDef def) {
 }
 
 void Database::StartWorkers(uint32_t num_workers, size_t queue_capacity) {
+  std::unique_lock<std::shared_mutex> l(service_mu_);
   PACMAN_CHECK_MSG(service_ == nullptr,
                    "executor workers are already running");
   PACMAN_CHECK(!crashed());
@@ -104,8 +114,29 @@ void Database::StartWorkers(uint32_t num_workers, size_t queue_capacity) {
 }
 
 void Database::StopWorkers() {
+  std::unique_lock<std::shared_mutex> l(service_mu_);
   PACMAN_CHECK_MSG(service_ != nullptr, "executor workers are not running");
   service_.reset();  // ~TxnService drains, fulfills futures, joins.
+}
+
+bool Database::EnsureWorkers(uint32_t num_workers, size_t queue_capacity) {
+  std::unique_lock<std::shared_mutex> l(service_mu_);
+  if (service_ != nullptr) return true;
+  if (crashed()) return false;
+  service_ =
+      std::make_unique<TxnService>(this, num_workers, queue_capacity);
+  return true;
+}
+
+Status Database::PostToService(ProcId proc, std::vector<Value> args,
+                               const TxnOptions& opts, TxnCompletion done) {
+  std::shared_lock<std::shared_mutex> l(service_mu_);
+  if (service_ == nullptr) {
+    return Status::Unavailable(crashed()
+                                   ? "database crashed; awaiting recovery"
+                                   : "no executor workers running");
+  }
+  return service_->Post(proc, std::move(args), opts, std::move(done));
 }
 
 WorkerId Database::AllocateWorkerSlot() {
@@ -282,6 +313,11 @@ logging::CheckpointMeta Database::TakeCheckpoint() {
 
 void Database::Crash() {
   PACMAN_CHECK(!crashed());
+  // Held exclusive across the whole crash: a submitter racing this call
+  // either lands before the pool drains (its transaction commits and
+  // resolves below) or blocks and then observes kUnavailable on the
+  // crashed database — never a half-dead pool.
+  std::unique_lock<std::shared_mutex> service_lock(service_mu_);
   // An active executor pool is drained and stopped first: every accepted
   // submission commits (and resolves its future) before the crash point,
   // so clients never hold futures into a lost epoch.

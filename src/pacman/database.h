@@ -31,6 +31,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "analysis/chopping.h"
@@ -132,9 +133,29 @@ class Database {
   void StartWorkers(uint32_t num_workers, size_t queue_capacity = 4096);
   // Drains outstanding submissions and stops the executor pool.
   void StopWorkers();
-  bool workers_running() const { return service_ != nullptr; }
+  // Starts the executor pool only if none is running; returns whether a
+  // pool is running on return (false exactly when the database is
+  // crashed). Unlike StartWorkers this is safe to race with itself and
+  // with PostToService — the wire front-end uses it to (re)establish
+  // executors lazily after Start() and after a Recover().
+  bool EnsureWorkers(uint32_t num_workers, size_t queue_capacity = 4096);
+  bool workers_running() const {
+    std::shared_lock<std::shared_mutex> l(service_mu_);
+    return service_ != nullptr;
+  }
   // The running executor service; null when StartWorkers is not active.
   TxnService* service() { return service_.get(); }
+
+  // Submits through the running executor service with the service
+  // lifecycle held stable for the duration of the enqueue: returns
+  // kUnavailable (never dereferences a dying pool) when no service is
+  // running — e.g. between Crash() and Recover() — and kOverloaded under
+  // opts.wait_if_full == false when the submission queue is at capacity.
+  // `done`, when set, runs exactly once on the executor thread after the
+  // transaction finishes (only when Ok is returned). This is the
+  // submission entry Session::Post and the network front-end share.
+  Status PostToService(ProcId proc, std::vector<Value> args,
+                       const TxnOptions& opts, TxnCompletion done = nullptr);
 
   // Registers and returns a worker log-buffer slot (§4.5 per-core
   // logging). Used by sessions and executor workers; thread-safe.
@@ -274,6 +295,12 @@ class Database {
   proc::ProgramSet programs_;
   bool schema_finalized_ = false;
 
+  // Guards the service_ pointer's lifecycle: submitters (PostToService,
+  // workers_running) hold it shared for the duration of one enqueue;
+  // StartWorkers/StopWorkers/EnsureWorkers/Crash hold it exclusive across
+  // the pointer swap (Crash across its whole body, so a submitter that
+  // loses the race observes the crashed state, not a half-dead pool).
+  mutable std::shared_mutex service_mu_;
   std::unique_ptr<TxnService> service_;  // Non-null while workers run.
 
   std::atomic<uint64_t> num_commits_{0};

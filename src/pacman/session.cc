@@ -106,11 +106,15 @@ Status Session::Post(const ProcHandle& proc, std::vector<Value> args,
                      const TxnOptions& opts) {
   Status s = CheckCallable(proc, db_, args);
   if (!s.ok()) return s;
-  TxnService* service = db_->service();
-  PACMAN_CHECK_MSG(service != nullptr,
-                   "Session::Post requires Database::StartWorkers");
-  service->SubmitDetached(proc.id(), std::move(args), opts);
-  return Status::Ok();
+  // The service-guarded path: returns a named kUnavailable when no
+  // executor pool is running (e.g. between Crash and Recover) instead of
+  // dereferencing a dying service.
+  return db_->PostToService(proc.id(), std::move(args), opts);
+}
+
+Status Session::Check(const ProcHandle& proc,
+                      const std::vector<Value>& args) const {
+  return CheckCallable(proc, db_, args);
 }
 
 TxnService::TxnService(Database* db, uint32_t num_workers,
@@ -152,36 +156,56 @@ TxnFuture TxnService::Submit(ProcId proc, std::vector<Value> args,
   req.args = std::move(args);
   req.opts = opts;
   req.state = std::make_shared<detail::TxnFutureState>();
+  std::shared_ptr<detail::TxnFutureState> state = req.state;
   TxnFuture future(req.state);
-  Enqueue(std::move(req));
+  Status s = Enqueue(std::move(req), opts.wait_if_full);
+  if (!s.ok()) {
+    // Queue at capacity under fail-fast policy: resolve the future with
+    // the named backpressure status instead of blocking the submitter.
+    TxnResult r;
+    r.status = std::move(s);
+    state->Fulfill(std::move(r));
+  }
   return future;
 }
 
-void TxnService::SubmitDetached(ProcId proc, std::vector<Value> args,
-                                const TxnOptions& opts) {
+Status TxnService::Post(ProcId proc, std::vector<Value> args,
+                        const TxnOptions& opts, TxnCompletion done) {
   Request req;
   req.proc = proc;
   req.args = std::move(args);
   req.opts = opts;
-  Enqueue(std::move(req));
+  req.done = std::move(done);
+  return Enqueue(std::move(req), opts.wait_if_full);
 }
 
-void TxnService::Enqueue(Request req) {
+Status TxnService::Enqueue(Request req, bool wait) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    // Re-check stop_ inside the wait: a submitter blocked on a full queue
-    // must not slip a request in after the executors were told to exit
-    // (its future would never resolve and the queue is about to die).
-    // Stopping the service while clients still submit is a caller
-    // contract violation; fail it deterministically here.
-    not_full_.wait(lock,
-                   [this] { return stop_ || queue_.size() < capacity_; });
-    PACMAN_CHECK_MSG(!stop_,
-                     "Submit raced TxnService shutdown — stop the client "
-                     "threads before StopWorkers/Crash");
+    if (!wait) {
+      // Fail-fast backpressure: a full queue is a named outcome the
+      // caller acts on (the wire path sheds the client), never a stall.
+      if (stop_) return Status::Unavailable("executor service stopping");
+      if (queue_.size() >= capacity_) {
+        return Status::Overloaded("submission queue at capacity (" +
+                                  std::to_string(capacity_) + ")");
+      }
+    } else {
+      // Re-check stop_ inside the wait: a submitter blocked on a full
+      // queue must not slip a request in after the executors were told to
+      // exit (its future would never resolve and the queue is about to
+      // die). Stopping the service while blocking clients still submit is
+      // a caller contract violation; fail it deterministically here.
+      not_full_.wait(lock,
+                     [this] { return stop_ || queue_.size() < capacity_; });
+      PACMAN_CHECK_MSG(!stop_,
+                       "Submit raced TxnService shutdown — stop the client "
+                       "threads before StopWorkers/Crash");
+    }
     queue_.push_back(std::move(req));
   }
   not_empty_.notify_one();
+  return Status::Ok();
 }
 
 void TxnService::Drain() {
@@ -228,7 +252,11 @@ void TxnService::ExecutorLoop(uint32_t executor) {
       } else {
         stats.failed++;
       }
-      if (req.state != nullptr) req.state->Fulfill(std::move(result));
+      if (req.state != nullptr) {
+        req.state->Fulfill(std::move(result));
+      } else if (req.done) {
+        req.done(std::move(result));
+      }
     }
     const auto end = std::chrono::steady_clock::now();
     stats.seconds += std::chrono::duration<double>(end - start).count();

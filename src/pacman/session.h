@@ -77,7 +77,19 @@ struct TxnOptions {
   // persisted logically instead of (proc, params) (§4.5).
   bool adhoc = false;
   int max_retries = 100;  // OCC retry budget.
+  // Backpressure policy for Post/Submit when the submission queue is at
+  // capacity: block until space frees up (closed-loop clients — the
+  // queue bound is their pipeline window), or fail fast with a named
+  // kOverloaded status (the wire path, which sheds the client instead
+  // of stalling its IO thread).
+  bool wait_if_full = true;
 };
+
+// Completion hook for asynchronous submissions that want neither a
+// future nor fire-and-forget: invoked exactly once, on the executor
+// thread that ran the transaction. The network front-end uses this to
+// pump response frames without a blocking waiter per request.
+using TxnCompletion = std::function<void(TxnResult)>;
 
 // A per-client connection to the database, bound to its own worker
 // log-buffer slot: records of transactions this session commits
@@ -110,10 +122,18 @@ class Session {
   // Like Submit, but fire-and-forget: no future is allocated, so the only
   // completion signal is queue backpressure / TxnService::Drain, and the
   // only outcome record is the executor stats. Returns the validation
-  // status (kInvalidArgument rejections never enqueue). The closed-loop
-  // WorkloadDriver runs on this.
+  // status (kInvalidArgument rejections never enqueue), kUnavailable when
+  // no executor pool is running, and — with opts.wait_if_full == false —
+  // kOverloaded when the submission queue is at capacity. The closed-loop
+  // WorkloadDriver runs on this (blocking form).
   Status Post(const ProcHandle& proc, std::vector<Value> args,
               const TxnOptions& opts = TxnOptions{});
+
+  // The validation preamble of Call/Submit/Post without the execution:
+  // handle validity, handle/database ownership, then the declared-
+  // signature check. The wire front-end rejects malformed calls with
+  // this before anything is enqueued.
+  Status Check(const ProcHandle& proc, const std::vector<Value>& args) const;
 
   // The log-buffer slot synchronous commits stage into.
   WorkerId slot() const { return slot_; }
@@ -143,13 +163,16 @@ class TxnService {
   TxnFuture Submit(ProcId proc, std::vector<Value> args,
                    const TxnOptions& opts);
 
-  // Fire-and-forget submission: no future is allocated; the outcome is
-  // visible only in the per-executor stats. The closed-loop WorkloadDriver
-  // uses this — queue backpressure alone bounds its in-flight window, and
-  // skipping the per-transaction future keeps the submission path within
-  // noise of direct execution.
-  void SubmitDetached(ProcId proc, std::vector<Value> args,
-                      const TxnOptions& opts);
+  // Fire-and-forget (or completion-callback) submission: no future is
+  // allocated. With opts.wait_if_full (the closed-loop WorkloadDriver)
+  // the call blocks until the queue has space and returns Ok; without it
+  // (the wire path) a full queue returns the named kOverloaded status and
+  // nothing is enqueued — backpressure as a first-class outcome rather
+  // than an indistinct failure. `done`, when set, runs exactly once on
+  // the executor thread after the transaction finishes; on a non-Ok
+  // return it never runs.
+  Status Post(ProcId proc, std::vector<Value> args, const TxnOptions& opts,
+              TxnCompletion done = nullptr);
 
   // Blocks until every submitted request has finished executing.
   void Drain();
@@ -168,12 +191,15 @@ class TxnService {
     std::vector<Value> args;
     TxnOptions opts;
     std::shared_ptr<detail::TxnFutureState> state;  // Null when detached.
+    TxnCompletion done;                             // Null when unused.
   };
 
   // Executors take up to this many requests per queue lock.
   static constexpr size_t kPopBatch = 32;
 
-  void Enqueue(Request req);
+  // Returns kOverloaded (enqueuing nothing) when the queue is full and
+  // `wait` is false; blocks until space otherwise.
+  Status Enqueue(Request req, bool wait);
   void ExecutorLoop(uint32_t executor);
 
   Database* db_;
