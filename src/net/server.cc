@@ -204,7 +204,7 @@ class Server::IoLoop {
         if (re == 0) continue;
         if (re & POLLOUT) {
           std::lock_guard<std::mutex> g(conn->mu);
-          if (!conn->FlushLocked()) MarkCloseNow(conn);
+          if (!conn->FlushLocked()) MarkCloseNowLocked(*conn);
         }
         if (re & POLLIN) HandleReadable(conn);
         if ((re & (POLLERR | POLLNVAL)) ||
@@ -260,13 +260,18 @@ class Server::IoLoop {
     }
   }
 
+  // Caller holds conn.mu (conn->mu is non-recursive).
+  static void MarkCloseNowLocked(Conn& conn) {
+    conn.draining = true;
+    conn.deadline = Clock::now();
+    conn.out.clear();
+    conn.out_bytes = 0;
+    conn.out_off = 0;
+  }
+
   void MarkCloseNow(const std::shared_ptr<Conn>& conn) {
     std::lock_guard<std::mutex> g(conn->mu);
-    conn->draining = true;
-    conn->deadline = Clock::now();
-    conn->out.clear();
-    conn->out_bytes = 0;
-    conn->out_off = 0;
+    MarkCloseNowLocked(*conn);
   }
 
   void CloseConn(std::shared_ptr<Conn>& conn) {
@@ -343,15 +348,19 @@ class Server::IoLoop {
   }
 
   void ProcessInbound(const std::shared_ptr<Conn>& conn) {
+    // Frames are consumed by advancing an offset; the buffer is compacted
+    // once at the end, so a read full of pipelined small frames costs one
+    // memmove instead of one per frame.
+    std::string& in = conn->in;
+    size_t consumed = 0;
     for (;;) {
       {
         std::lock_guard<std::mutex> g(conn->mu);
-        if (conn->draining) return;
+        if (conn->draining) break;
       }
-      std::string& in = conn->in;
-      if (in.size() < sizeof(uint32_t)) return;
+      if (in.size() - consumed < sizeof(uint32_t)) break;
       uint32_t len = 0;
-      std::memcpy(&len, in.data(), sizeof(len));
+      std::memcpy(&len, in.data() + consumed, sizeof(len));
       const size_t cap = std::min(kFrameLimit, opts().max_frame_bytes);
       if (len == 0 || len > cap) {
         // A length prefix outside the frame cap is garbage (or abuse),
@@ -360,14 +369,16 @@ class Server::IoLoop {
                    Status::Corruption(
                        "frame length " + std::to_string(len) +
                        " outside (0, " + std::to_string(cap) + "]"));
-        return;
+        break;
       }
-      if (in.size() < sizeof(uint32_t) + len) return;
+      if (in.size() - consumed < sizeof(uint32_t) + len) break;
       ProcessFrame(conn,
-                   reinterpret_cast<const uint8_t*>(in.data()) + sizeof(len),
+                   reinterpret_cast<const uint8_t*>(in.data()) + consumed +
+                       sizeof(len),
                    len);
-      in.erase(0, sizeof(len) + len);
+      consumed += sizeof(len) + len;
     }
+    if (consumed > 0) in.erase(0, consumed);
   }
 
   void ProcessFrame(const std::shared_ptr<Conn>& conn, const uint8_t* p,
@@ -621,10 +632,7 @@ class Server::IoLoop {
                                         " bytes",
                                     linger());
       }
-      if (!conn->FlushLocked()) {
-        conn->draining = true;
-        conn->deadline = Clock::now();
-      }
+      if (!conn->FlushLocked()) MarkCloseNowLocked(*conn);
     }
     if (shed_now) shared_->shed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -708,9 +716,13 @@ Status Server::Start() {
   }
 
   listen_fd_ = fd;
-  shared_ = std::make_shared<Shared>();
-  shared_->db = db_;
-  shared_->options = options_;
+  auto shared = std::make_shared<Shared>();
+  shared->db = db_;
+  shared->options = options_;
+  {
+    std::lock_guard<std::mutex> sg(shared_mu_);
+    shared_ = shared;
+  }
 
   auto rr = std::make_shared<std::atomic<size_t>>(0);
   auto assign = [this, rr](int conn_fd) {
@@ -719,7 +731,7 @@ Status Server::Start() {
   };
   for (uint32_t i = 0; i < options_.io_threads; ++i) {
     loops_.push_back(std::make_unique<IoLoop>(
-        db_, shared_, i == 0 ? listen_fd_ : -1, assign));
+        db_, shared, i == 0 ? listen_fd_ : -1, assign));
   }
   pool_ = std::make_unique<exec::ThreadPool>(options_.io_threads, "net-io");
   for (std::unique_ptr<IoLoop>& loop : loops_) {
@@ -748,16 +760,19 @@ void Server::Stop() {
 
 ServerStats Server::stats() const {
   ServerStats out;
-  std::lock_guard<std::mutex> g(lifecycle_mu_);
-  if (shared_ == nullptr) return out;
-  out.accepted = shared_->accepted.load(std::memory_order_relaxed);
-  out.active = shared_->active.load(std::memory_order_relaxed);
-  out.sessions_open = shared_->sessions_open.load(std::memory_order_relaxed);
-  out.shed = shared_->shed.load(std::memory_order_relaxed);
-  out.protocol_errors =
-      shared_->protocol_errors.load(std::memory_order_relaxed);
-  out.calls = shared_->calls.load(std::memory_order_relaxed);
-  out.call_errors = shared_->call_errors.load(std::memory_order_relaxed);
+  std::shared_ptr<Shared> s;
+  {
+    std::lock_guard<std::mutex> g(shared_mu_);
+    s = shared_;
+  }
+  if (s == nullptr) return out;
+  out.accepted = s->accepted.load(std::memory_order_relaxed);
+  out.active = s->active.load(std::memory_order_relaxed);
+  out.sessions_open = s->sessions_open.load(std::memory_order_relaxed);
+  out.shed = s->shed.load(std::memory_order_relaxed);
+  out.protocol_errors = s->protocol_errors.load(std::memory_order_relaxed);
+  out.calls = s->calls.load(std::memory_order_relaxed);
+  out.call_errors = s->call_errors.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -114,7 +114,10 @@ class Server {
   std::shared_ptr<Shared> shared_;
   std::vector<std::unique_ptr<IoLoop>> loops_;
   std::unique_ptr<exec::ThreadPool> pool_;
-  mutable std::mutex lifecycle_mu_;  // Serializes Start/Stop (and stats).
+  mutable std::mutex lifecycle_mu_;  // Serializes Start/Stop.
+  // Guards only the shared_ pointer itself, so stats() never waits behind
+  // a Stop() holding lifecycle_mu_ across the connection drain.
+  mutable std::mutex shared_mu_;
   std::atomic<bool> running_{false};
   std::atomic<uint16_t> port_{0};
   int listen_fd_ = -1;
