@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of background checkpointing + log truncation.
+
+Drives a real ``bank_server`` with an aggressive ``--checkpoint-secs``
+over a file-device --log-dir and checks the maintenance loop end to end:
+
+  1. starts the server, pumps deposits until at least two "CHECKPOINT"
+     lines appear on stdout and at least one of them truncated log
+     batches,
+  2. asserts the number of retained log batch files stays bounded while
+     logged bytes keep growing,
+  3. kill -9s the server (no shutdown handshake, no final flush beyond
+     the explicit durability fence),
+  4. restarts it over the same --log-dir — recovery now starts from the
+     newest durable checkpoint plus the *truncated* log suffix — and
+     verifies the fenced balance survived.
+
+Usage: maintenance_smoke.py /path/to/bank_server [--keep]
+Exit code 0 = pass. Registered as the `maintenance_python_smoke` ctest
+and run in the CI net job.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from pacman_client import PacmanClient  # noqa: E402
+
+CHECKPOINT_SECS = "0.2"
+
+
+class ServerProc:
+    """bank_server with a stdout reader thread: LISTENING is consumed
+    once at startup while CHECKPOINT lines keep arriving mid-traffic."""
+
+    def __init__(self, binary, log_dir):
+        self.proc = subprocess.Popen(
+            [binary, "--port", "0", "--device", "file", "--log-dir", log_dir,
+             "--threads", "2", "--checkpoint-secs", CHECKPOINT_SECS],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        self.lines = []
+        self.lock = threading.Lock()
+        self.reader = threading.Thread(target=self._read, daemon=True)
+        self.reader.start()
+        self.port = self._wait_listening()
+
+    def _read(self):
+        for line in self.proc.stdout:
+            with self.lock:
+                self.lines.append(line.rstrip("\n"))
+
+    def _wait_listening(self):
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            with self.lock:
+                for line in self.lines:
+                    if line.startswith("LISTENING"):
+                        return int(line.split("port=")[1])
+            if self.proc.poll() is not None:
+                raise RuntimeError("server exited: %s" %
+                                   self.proc.stderr.read())
+            time.sleep(0.05)
+        raise RuntimeError("server did not print LISTENING")
+
+    def checkpoint_lines(self):
+        with self.lock:
+            return [l for l in self.lines if l.startswith("CHECKPOINT ")]
+
+    def kill9(self):
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait()
+        self.reader.join(timeout=10)
+
+
+def parse_field(line, key):
+    for tok in line.split():
+        if tok.startswith(key + "="):
+            return int(float(tok.split("=")[1]))
+    raise AssertionError("no %s= in %r" % (key, line))
+
+
+def count_log_batches(log_dir):
+    n = 0
+    for root, _dirs, files in os.walk(log_dir):
+        n += sum(1 for f in files if f.startswith("log_"))
+    return n
+
+
+def expect(cond, what):
+    if not cond:
+        raise AssertionError("FAILED: " + what)
+    print("ok:", what)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+    log_dir = tempfile.mkdtemp(prefix="pacman-maint-smoke-")
+    keep = "--keep" in sys.argv[2:]
+    server = None
+    try:
+        server = ServerProc(binary, log_dir)
+        print("server pid=%d port=%d log_dir=%s"
+              % (server.proc.pid, server.port, log_dir))
+
+        balance = None
+        max_batches = 0
+        with PacmanClient("127.0.0.1", server.port) as c:
+            deposit = c.get_proc("Deposit")
+            # Pump traffic until the background service has demonstrably
+            # both checkpointed and truncated. Each wave logs more bytes;
+            # the retained batch count must not grow with them.
+            deadline = time.time() + 120
+            truncated = 0
+            while time.time() < deadline:
+                for _ in range(200):
+                    r = c.call(deposit, [7, 1.0, 3])
+                    assert r.ok, r
+                    balance = r.values[0]
+                max_batches = max(max_batches, count_log_batches(log_dir))
+                lines = server.checkpoint_lines()
+                truncated = sum(parse_field(l, "truncated_batches")
+                                for l in lines)
+                if len(lines) >= 2 and truncated >= 1:
+                    break
+            lines = server.checkpoint_lines()
+            expect(len(lines) >= 2,
+                   "server printed >= 2 CHECKPOINT lines (got %d)"
+                   % len(lines))
+            expect(truncated >= 1,
+                   "maintenance truncated >= 1 log batch (got %d)"
+                   % truncated)
+            ids = [parse_field(l, "id") for l in lines]
+            expect(ids == sorted(ids), "checkpoint ids are monotone %r" % ids)
+
+            # Bounded retention: far more batches were written than are
+            # left on disk. 2 loggers x (a few closed awaiting coverage +
+            # one in-progress) plus slack; unbounded growth would blow
+            # far past this within the traffic pumped above.
+            retained = count_log_batches(log_dir)
+            expect(retained <= 16,
+                   "retained log batches bounded: %d <= 16 (peak %d)"
+                   % (retained, max_batches))
+
+            # Durability fence, then crash hard mid-service.
+            c.flush()
+
+        server.kill9()
+        print("server killed (SIGKILL)")
+
+        # Restart over the truncated log: recovery = newest durable
+        # checkpoint + surviving suffix. The fenced balance must be back.
+        server = ServerProc(binary, log_dir)
+        print("server restarted on port %d" % server.port)
+        with PacmanClient("127.0.0.1", server.port) as c:
+            deposit = c.get_proc("Deposit")
+            r = c.call(deposit, [7, 0.0, 3])  # No-op deposit = read.
+            expect(r.ok, "post-recovery call committed")
+            expect(abs(r.values[0] - balance) < 1e-9,
+                   "recovered balance %r matches pre-kill %r"
+                   % (r.values[0], balance))
+
+        server.proc.terminate()
+        server.proc.wait(timeout=30)
+        server = None
+        print("PASS")
+        return 0
+    finally:
+        if server is not None and server.proc.poll() is None:
+            server.proc.kill()
+            server.proc.wait()
+        if keep:
+            print("kept", log_dir)
+        else:
+            shutil.rmtree(log_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,13 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/bank_server --port 7444 [--threads N] \
-//       [--device file --log-dir /tmp/pacman-bank]
+//       [--device file --log-dir /tmp/pacman-bank] \
+//       [--checkpoint-secs S] [--checkpoint-mb N]
+//
+// With a checkpoint trigger set, a background service periodically
+// checkpoints and truncates the log (maintenance/checkpoint_service.h),
+// printing one "CHECKPOINT id=…" line per completed cycle, so the log
+// directory stays bounded at unbounded uptime.
 //
 // Prints exactly one "LISTENING host=<h> port=<p>" line once ready (an
 // ephemeral port resolves here — launchers parse it), then serves until
@@ -39,6 +45,23 @@ int main(int argc, char** argv) {
   DatabaseOptions options;
   options.scheme = logging::LogScheme::kCommand;
   ApplyDeviceFlags(flags, &options);
+  options.checkpoint_interval_s = flags.checkpoint_secs;
+  options.checkpoint_log_bytes = flags.checkpoint_mb * (1ull << 20);
+  // One line per completed cycle (stdout, flushed: the smoke test and CI
+  // tail the pipe while the server runs).
+  options.checkpoint_event_hook = [](const maintenance::CheckpointEvent& ev) {
+    std::printf("CHECKPOINT id=%llu ts=%llu bytes=%llu "
+                "truncated_batches=%llu truncated_bytes=%llu "
+                "retired_files=%llu secs=%.3f\n",
+                static_cast<unsigned long long>(ev.id),
+                static_cast<unsigned long long>(ev.ts),
+                static_cast<unsigned long long>(ev.checkpoint_bytes),
+                static_cast<unsigned long long>(ev.batches_deleted),
+                static_cast<unsigned long long>(ev.batch_bytes_deleted),
+                static_cast<unsigned long long>(ev.stripes_deleted),
+                ev.seconds);
+    std::fflush(stdout);
+  };
   Database db(options);
 
   workload::Bank bank({.num_users = 10000, .num_nations = 16,
@@ -93,5 +116,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.call_errors),
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.protocol_errors));
+  if (stats.checkpoints > 0 || stats.checkpoint_failures > 0) {
+    std::fprintf(stderr,
+                 "maintenance: %llu checkpoints (%llu failed), "
+                 "%llu batches / %llu bytes truncated\n",
+                 static_cast<unsigned long long>(stats.checkpoints),
+                 static_cast<unsigned long long>(stats.checkpoint_failures),
+                 static_cast<unsigned long long>(stats.log_batches_deleted),
+                 static_cast<unsigned long long>(stats.log_bytes_deleted));
+  }
   return 0;
 }

@@ -17,6 +17,8 @@
 //   --port N          network binaries: TCP port (0 = ephemeral; the
 //                     server prints the bound port)
 //   --connections N   network binaries: client connection count (>= 1)
+//   --checkpoint-secs S  background checkpoint every S seconds (0 = off)
+//   --checkpoint-mb N    background checkpoint every N logged MiB (0 = off)
 //
 // Both "--flag value" and "--flag=value" forms are accepted. Binaries pass
 // their own defaults; absent flags keep them. Malformed values and unknown
@@ -46,6 +48,9 @@ struct CommonFlags {
   std::string host = "127.0.0.1";
   uint16_t port = 0;           // 0 = ephemeral (server prints the port).
   uint32_t connections = 4;    // Client connection count.
+  // Background maintenance triggers (server binaries); 0 = disabled.
+  double checkpoint_secs = 0.0;
+  uint64_t checkpoint_mb = 0;
 
   bool use_file_device() const { return device == "file"; }
 };
@@ -55,7 +60,7 @@ namespace flags_internal {
 inline const char kSupported[] =
     "supported flags: --threads N  --txns N  --seed N  --adhoc F  "
     "--device sim|file  --log-dir PATH  --json PATH  --host ADDR  "
-    "--port N  --connections N\n";
+    "--port N  --connections N  --checkpoint-secs S  --checkpoint-mb N\n";
 
 [[noreturn]] inline void Usage(const char* flag, const char* want,
                                const char* got) {
@@ -80,6 +85,15 @@ inline uint64_t ParseU64(const char* flag, const char* text,
           text);
   }
   return static_cast<uint64_t>(v);
+}
+
+inline double ParseNonNegative(const char* flag, const char* text) {
+  char* end = nullptr;
+  double v = text != nullptr ? std::strtod(text, &end) : -1.0;
+  if (text == nullptr || end == text || *end != '\0' || v < 0.0) {
+    Usage(flag, "a non-negative number", text);
+  }
+  return v;
 }
 
 inline double ParseFraction(const char* flag, const char* text) {
@@ -154,6 +168,11 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
       PACMAN_CHECK_MSG(v >= 1 && v <= 100000,
                        "--connections must lie in [1, 100000]");
       flags.connections = static_cast<uint32_t>(v);
+    } else if (std::strcmp(arg, "--checkpoint-secs") == 0) {
+      flags.checkpoint_secs = flags_internal::ParseNonNegative(arg, next);
+    } else if (std::strcmp(arg, "--checkpoint-mb") == 0) {
+      flags.checkpoint_mb =
+          flags_internal::ParseU64(arg, next, /*min_value=*/0);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       std::fprintf(stderr, "%s", flags_internal::kSupported);

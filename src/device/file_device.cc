@@ -178,6 +178,27 @@ void FileDevice::RemoveAll() {
   FsyncDir(config_.dir);
 }
 
+double FileDevice::RemoveFile(const std::string& name) {
+  const double t0 = Now();
+  if (::unlink(PathFor(name).c_str()) != 0) {
+    // Absent is fine (GC retried across a restart); anything else means
+    // the medium is broken and a "truncated" file could resurrect.
+    PACMAN_CHECK_MSG(errno == ENOENT, "FileDevice: unlink failed");
+    return 0.0;
+  }
+  {
+    // Drop any pending-fsync record; the barrier tolerates missing files
+    // but there is no point fsyncing a deleted object.
+    std::lock_guard<std::mutex> g(dirty_mu_);
+    auto it = std::find(dirty_appends_.begin(), dirty_appends_.end(), name);
+    if (it != dirty_appends_.end()) dirty_appends_.erase(it);
+  }
+  FsyncDir(config_.dir);
+  const double secs = Now() - t0;
+  RecordFsync(secs);
+  return secs;
+}
+
 size_t FileDevice::FileSize(const std::string& name) const {
   std::error_code ec;
   const auto size = fs::file_size(PathFor(name), ec);

@@ -52,6 +52,7 @@ class FileDevice final : public StorageDevice {
   bool Exists(const std::string& name) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   void RemoveAll() override;
+  double RemoveFile(const std::string& name) override;
   size_t FileSize(const std::string& name) const override;
   double SyncBarrier() override;
   bool IsPersistent() const override { return true; }

@@ -77,6 +77,12 @@ void SimulatedSsd::RemoveAll() {
   files_.clear();
 }
 
+double SimulatedSsd::RemoveFile(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  files_.erase(name);  // Outstanding shared readers keep their buffer.
+  return FsyncSeconds();
+}
+
 size_t SimulatedSsd::FileSize(const std::string& name) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = files_.find(name);

@@ -55,6 +55,7 @@ class SimulatedSsd final : public StorageDevice {
   bool Exists(const std::string& name) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   void RemoveAll() override;
+  double RemoveFile(const std::string& name) override;
   size_t FileSize(const std::string& name) const override;
   double SyncBarrier() override;
   // Nothing actually survives the process; the loggers keep their

@@ -77,6 +77,12 @@ class StorageDevice {
   virtual std::vector<std::string> ListFiles(
       const std::string& prefix) const = 0;
   virtual void RemoveAll() = 0;
+  // Deletes one object. Idempotent: removing an absent name is a no-op
+  // (log truncation races benignly with itself across restarts). Real
+  // backends make the removal durable before returning (unlink + fsync of
+  // the directory), so a batch file deleted by garbage collection never
+  // resurrects after a crash.
+  virtual double RemoveFile(const std::string& name) = 0;
   // Size in bytes, or 0 when absent.
   virtual size_t FileSize(const std::string& name) const = 0;
 

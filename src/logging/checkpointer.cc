@@ -1,12 +1,51 @@
 #include "logging/checkpointer.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/macros.h"
 #include "common/serializer.h"
 
 namespace pacman::logging {
 
 namespace {
-constexpr char kMetaFile[] = "ckpt_meta";
+
+// Meta file layout: magic, id, ts, files_per_ssd, num_ssds, total_bytes,
+// then an FNV-1a checksum of everything before it. The checksum (plus the
+// device's atomic WriteFile) is what lets recovery tell a committed meta
+// from a torn leftover.
+constexpr uint32_t kMetaMagic = 0x50434B4D;  // "PCKM"
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Parses a decimal run starting at `pos`; advances `pos` past it.
+bool ParseDigits(const std::string& s, size_t* pos, uint64_t* out) {
+  if (*pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    return false;
+  }
+  uint64_t v = 0;
+  while (*pos < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    v = v * 10 + static_cast<uint64_t>(s[*pos] - '0');
+    ++(*pos);
+  }
+  *out = v;
+  return true;
+}
+
+bool ConsumeUnderscore(const std::string& s, size_t* pos) {
+  if (*pos >= s.size() || s[*pos] != '_') return false;
+  ++(*pos);
+  return true;
+}
+
 }  // namespace
 
 std::string Checkpointer::StripeFileName(uint64_t ckpt_id,
@@ -19,18 +58,58 @@ std::string Checkpointer::StripeFileName(uint64_t ckpt_id,
   return buf;
 }
 
-CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
-                                            uint32_t files_per_ssd) {
+std::string Checkpointer::MetaFileName(uint64_t ckpt_id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ckpt_meta_%012llu",
+                static_cast<unsigned long long>(ckpt_id));
+  return buf;
+}
+
+bool Checkpointer::ParseMetaFileName(const std::string& name,
+                                     uint64_t* ckpt_id) {
+  constexpr char kPrefix[] = "ckpt_meta_";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  size_t pos = sizeof(kPrefix) - 1;
+  return ParseDigits(name, &pos, ckpt_id) && pos == name.size();
+}
+
+bool Checkpointer::ParseStripeFileName(const std::string& name,
+                                       uint64_t* ckpt_id, uint32_t* ssd_index,
+                                       uint32_t* file_index) {
+  constexpr char kPrefix[] = "ckpt_";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  size_t pos = sizeof(kPrefix) - 1;
+  uint64_t id = 0, ssd = 0, file = 0;
+  if (!ParseDigits(name, &pos, &id)) return false;  // Rejects "ckpt_meta_…".
+  if (!ConsumeUnderscore(name, &pos)) return false;
+  if (!ParseDigits(name, &pos, &ssd)) return false;
+  if (!ConsumeUnderscore(name, &pos)) return false;
+  if (!ParseDigits(name, &pos, &file)) return false;
+  if (pos != name.size()) return false;
+  *ckpt_id = id;
+  *ssd_index = static_cast<uint32_t>(ssd);
+  *file_index = static_cast<uint32_t>(file);
+  return true;
+}
+
+Status Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
+                                    uint32_t files_per_ssd,
+                                    CheckpointMeta* out) {
   const uint32_t num_ssds = static_cast<uint32_t>(devices_.size());
   const uint32_t num_stripes = num_ssds * files_per_ssd;
   std::vector<Serializer> stripes(num_stripes);
 
-  // Stripe tuples round-robin so reload parallelism is balanced.
+  // Stripe tuples round-robin so reload parallelism is balanced. The slot
+  // list is snapshotted under each table's arena latch (SnapshotSlots) so
+  // the scan is safe against transactions inserting keys concurrently;
+  // version chains are read through the MVCC visibility check at `ts`,
+  // which concurrent installs (always at timestamps > ts once ts is
+  // stable) never disturb.
   uint32_t next = 0;
   for (const auto& table : catalog_->tables()) {
-    table->ForEachSlot([&](storage::TupleSlot* slot) {
+    for (storage::TupleSlot* slot : table->SnapshotSlots()) {
       const storage::Version* v = slot->VisibleAt(ts);
-      if (v == nullptr || v->deleted) return;
+      if (v == nullptr || v->deleted) continue;
       Serializer& s = stripes[next];
       next = (next + 1) % num_stripes;
       s.PutU32(table->id());
@@ -41,7 +120,7 @@ CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
         s.PutU64(reinterpret_cast<uint64_t>(v));
       }
       s.PutRow(v->data);
-    });
+    }
   }
 
   CheckpointMeta meta;
@@ -49,39 +128,116 @@ CheckpointMeta Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
   meta.ts = ts;
   meta.files_per_ssd = files_per_ssd;
   meta.num_ssds = num_ssds;
+  std::vector<size_t> stripe_bytes(num_stripes, 0);
   for (uint32_t d = 0; d < num_ssds; ++d) {
     for (uint32_t f = 0; f < files_per_ssd; ++f) {
-      std::vector<uint8_t> bytes =
-          stripes[d * files_per_ssd + f].Release();
+      std::vector<uint8_t> bytes = stripes[d * files_per_ssd + f].Release();
+      stripe_bytes[d * files_per_ssd + f] = bytes.size();
       meta.total_bytes += bytes.size();
       devices_[d]->WriteFile(StripeFileName(id, d, f), std::move(bytes));
     }
   }
+  // Stripes must be durable before the meta commits the checkpoint.
+  for (uint32_t d = 0; d < num_ssds; ++d) devices_[d]->SyncBarrier();
+  // Verify the stripes actually landed: a device that acknowledged a
+  // write it did not keep must fail the checkpoint here, not surface as a
+  // truncated log with no covering snapshot.
+  for (uint32_t d = 0; d < num_ssds; ++d) {
+    for (uint32_t f = 0; f < files_per_ssd; ++f) {
+      const std::string name = StripeFileName(id, d, f);
+      if (!devices_[d]->Exists(name) ||
+          devices_[d]->FileSize(name) != stripe_bytes[d * files_per_ssd + f]) {
+        return Status::Internal("checkpoint stripe not durable: " + name);
+      }
+    }
+  }
 
   Serializer ms;
+  ms.PutU32(kMetaMagic);
   ms.PutU64(meta.id);
   ms.PutU64(meta.ts);
   ms.PutU32(meta.files_per_ssd);
   ms.PutU32(meta.num_ssds);
   ms.PutU64(meta.total_bytes);
-  devices_[0]->WriteFile(kMetaFile, ms.Release());
-  return meta;
+  ms.PutU64(Fnv1a(ms.data().data(), ms.size()));
+  devices_[0]->WriteFile(MetaFileName(id), ms.Release());
+  // Read the commit record back: only a meta that will validate at
+  // recovery makes this checkpoint usable (and its log prefix deletable).
+  CheckpointMeta readback;
+  Status s = ReadMeta(id, &readback);
+  if (!s.ok()) return s;
+  if (readback.ts != meta.ts || readback.total_bytes != meta.total_bytes ||
+      readback.files_per_ssd != meta.files_per_ssd ||
+      readback.num_ssds != meta.num_ssds) {
+    return Status::Internal("checkpoint meta readback mismatch: " +
+                            MetaFileName(id));
+  }
+  *out = meta;
+  return Status::Ok();
+}
+
+Status Checkpointer::ReadMeta(uint64_t id, CheckpointMeta* out) const {
+  std::vector<uint8_t> bytes;
+  Status s = devices_[0]->ReadFile(MetaFileName(id), &bytes);
+  if (!s.ok()) return s;
+  Deserializer in(bytes);
+  uint32_t magic = 0;
+  s = in.GetU32(&magic);
+  if (!s.ok() || magic != kMetaMagic) {
+    return Status::Corruption("bad checkpoint meta magic: " +
+                              MetaFileName(id));
+  }
+  s = in.GetU64(&out->id);
+  if (s.ok()) s = in.GetU64(&out->ts);
+  if (s.ok()) s = in.GetU32(&out->files_per_ssd);
+  if (s.ok()) s = in.GetU32(&out->num_ssds);
+  if (s.ok()) s = in.GetU64(&out->total_bytes);
+  uint64_t checksum = 0;
+  if (s.ok()) s = in.GetU64(&checksum);
+  if (!s.ok()) {
+    return Status::Corruption("truncated checkpoint meta: " +
+                              MetaFileName(id));
+  }
+  if (checksum != Fnv1a(bytes.data(), bytes.size() - sizeof(uint64_t)) ||
+      out->id != id) {
+    return Status::Corruption("checkpoint meta checksum mismatch: " +
+                              MetaFileName(id));
+  }
+  return Status::Ok();
+}
+
+bool Checkpointer::StripesComplete(const CheckpointMeta& meta) const {
+  if (meta.num_ssds != devices_.size()) return false;
+  for (uint32_t d = 0; d < meta.num_ssds; ++d) {
+    for (uint32_t f = 0; f < meta.files_per_ssd; ++f) {
+      if (!devices_[d]->Exists(StripeFileName(meta.id, d, f))) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint64_t> Checkpointer::ListMetaIds() const {
+  std::vector<uint64_t> ids;
+  for (const std::string& name : devices_[0]->ListFiles("ckpt_meta_")) {
+    uint64_t id = 0;
+    if (ParseMetaFileName(name, &id)) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Status Checkpointer::ReadLatestMeta(CheckpointMeta* out) const {
-  std::vector<uint8_t> bytes;
-  Status s = devices_[0]->ReadFile(kMetaFile, &bytes);
-  if (!s.ok()) return s;
-  Deserializer in(bytes);
-  s = in.GetU64(&out->id);
-  if (!s.ok()) return s;
-  s = in.GetU64(&out->ts);
-  if (!s.ok()) return s;
-  s = in.GetU32(&out->files_per_ssd);
-  if (!s.ok()) return s;
-  s = in.GetU32(&out->num_ssds);
-  if (!s.ok()) return s;
-  return in.GetU64(&out->total_bytes);
+  std::vector<uint64_t> ids = ListMetaIds();
+  // Newest first: a torn high-id leftover must fall back to the previous
+  // durable checkpoint, not mask it.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    CheckpointMeta meta;
+    if (!ReadMeta(*it, &meta).ok()) continue;
+    if (!StripesComplete(meta)) continue;
+    *out = meta;
+    return Status::Ok();
+  }
+  return Status::NotFound("no durable checkpoint");
 }
 
 Status Checkpointer::ReadStripe(const CheckpointMeta& meta,

@@ -7,6 +7,15 @@
 // persist tuple locations alongside contents; logical/command logging
 // persist contents only. Checkpoints are striped over several files per
 // device so that recovery can reload them in parallel.
+//
+// Durability protocol: each checkpoint writes its stripes first, barriers
+// every device, and only then writes its own per-id meta file
+// (ckpt_meta_<id>, magic + checksum) on device 0. The meta is therefore a
+// commit record — a process killed mid-checkpoint leaves stripes without
+// a (valid) meta, and ReadLatestMeta skips anything that fails to parse,
+// fails its checksum, or names stripes that do not all exist, falling
+// back to the newest previous durable checkpoint. Log truncation must
+// only ever trust a checkpoint ReadLatestMeta accepts.
 #ifndef PACMAN_LOGGING_CHECKPOINTER_H_
 #define PACMAN_LOGGING_CHECKPOINTER_H_
 
@@ -42,13 +51,31 @@ class Checkpointer {
       : catalog_(catalog), scheme_(scheme), devices_(std::move(devices)) {}
 
   // Writes a consistent snapshot at `ts`, striped over `files_per_ssd`
-  // files on each device, and persists the metadata. Returns the meta
-  // (with total real byte size, for the virtual-time write cost).
-  CheckpointMeta TakeCheckpoint(uint64_t id, Timestamp ts,
-                                uint32_t files_per_ssd);
+  // files on each device, barriers, then commits it by writing the meta
+  // file and verifying it back. Fails loudly — a non-ok status means the
+  // checkpoint is NOT durable and must not be used for log truncation
+  // (e.g. a device acknowledged a write it did not keep). On success
+  // `*out` holds the meta (with the total real byte size, for the
+  // virtual-time write cost).
+  Status TakeCheckpoint(uint64_t id, Timestamp ts, uint32_t files_per_ssd,
+                        CheckpointMeta* out);
 
-  // Reads the latest checkpoint metadata; kNotFound if none exists.
+  // Reads the newest *durable* checkpoint's metadata: the highest-id meta
+  // file that parses, passes its checksum and whose stripes all exist.
+  // Torn leftovers of a checkpoint interrupted by a crash are skipped.
+  // kNotFound if no durable checkpoint exists.
   Status ReadLatestMeta(CheckpointMeta* out) const;
+
+  // Parses (and checksum-validates) the meta file of checkpoint `id`.
+  Status ReadMeta(uint64_t id, CheckpointMeta* out) const;
+
+  // True when every stripe file the meta describes exists on its device.
+  bool StripesComplete(const CheckpointMeta& meta) const;
+
+  // Ids of every meta file present on device 0 (including torn ones that
+  // would not validate), ascending. Retention uses this to find
+  // superseded checkpoints to delete.
+  std::vector<uint64_t> ListMetaIds() const;
 
   // Loads one stripe of checkpoint `meta` back from its device.
   Status ReadStripe(const CheckpointMeta& meta, uint32_t ssd_index,
@@ -56,6 +83,14 @@ class Checkpointer {
 
   static std::string StripeFileName(uint64_t ckpt_id, uint32_t ssd_index,
                                     uint32_t file_index);
+  static std::string MetaFileName(uint64_t ckpt_id);
+  static bool ParseMetaFileName(const std::string& name, uint64_t* ckpt_id);
+  static bool ParseStripeFileName(const std::string& name, uint64_t* ckpt_id,
+                                  uint32_t* ssd_index, uint32_t* file_index);
+
+  const std::vector<device::StorageDevice*>& devices() const {
+    return devices_;
+  }
 
  private:
   storage::Catalog* catalog_;

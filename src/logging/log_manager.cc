@@ -6,9 +6,11 @@
 namespace pacman::logging {
 
 Logger::Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
-               uint32_t epochs_per_batch, uint64_t start_seq)
+               uint32_t epochs_per_batch, uint64_t start_seq,
+               CloseCallback on_close)
     : id_(id), scheme_(scheme), device_(device),
-      epochs_per_batch_(epochs_per_batch), batch_seq_(start_seq) {
+      epochs_per_batch_(epochs_per_batch), on_close_(std::move(on_close)),
+      batch_seq_(start_seq) {
   current_.logger_id = id_;
   current_.seq = batch_seq_;
 }
@@ -83,6 +85,15 @@ void Logger::CloseBatch() {
       device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
                          std::move(bytes));
     }
+    if (on_close_ != nullptr) {
+      Timestamp max_cts = 0;
+      for (const LogRecord& r : current_.records) {
+        max_cts = std::max(max_cts, r.commit_ts);
+      }
+      on_close_(BatchCoverage{
+          id_, current_.seq, max_cts,
+          LogStore::SerializedBatchBytes(scheme_, current_)});
+    }
     batch_seq_++;
     batches_written_++;
   }
@@ -130,9 +141,12 @@ LogManager::LogManager(LogScheme scheme,
       }
     }
     for (uint32_t i = 0; i < num_loggers; ++i) {
-      loggers_.push_back(std::make_unique<Logger>(i, scheme,
-                                                  devices_[i % devices_.size()],
-                                                  epochs_per_batch, start_seq));
+      loggers_.push_back(std::make_unique<Logger>(
+          i, scheme, devices_[i % devices_.size()], epochs_per_batch,
+          start_seq, [this](const BatchCoverage& c) {
+            std::lock_guard<std::mutex> g(coverage_mu_);
+            closed_batches_.push_back(c);
+          }));
     }
   }
 }
@@ -310,6 +324,27 @@ uint64_t LogManager::total_bytes() const {
   uint64_t total = 0;
   for (const auto& logger : loggers_) total += logger->bytes_logged();
   return total;
+}
+
+std::vector<BatchCoverage> LogManager::TakeTruncatable(Timestamp ts) {
+  std::lock_guard<std::mutex> g(coverage_mu_);
+  std::vector<BatchCoverage> covered;
+  std::vector<BatchCoverage> kept;
+  kept.reserve(closed_batches_.size());
+  for (const BatchCoverage& c : closed_batches_) {
+    (c.max_cts <= ts ? covered : kept).push_back(c);
+  }
+  closed_batches_ = std::move(kept);
+  return covered;
+}
+
+uint64_t LogManager::MinOpenSeq() {
+  if (loggers_.empty()) return 0;
+  uint64_t min_seq = kMaxTimestamp;
+  for (auto& logger : loggers_) {
+    min_seq = std::min(min_seq, logger->open_seq());
+  }
+  return min_seq;
 }
 
 }  // namespace pacman::logging

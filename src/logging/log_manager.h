@@ -27,6 +27,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -50,12 +51,28 @@ struct FlushCost {
   uint64_t bytes = 0;
 };
 
+// Coverage summary of one closed (immutable) batch file, reported by the
+// logger that closed it and consumed by log garbage collection: a batch
+// whose max_cts is at or below a durable checkpoint's timestamp holds no
+// record recovery could still need.
+struct BatchCoverage {
+  uint32_t logger_id = 0;
+  uint64_t seq = 0;
+  Timestamp max_cts = 0;
+  uint64_t bytes = 0;  // Serialized size of the closed batch file.
+};
+
 class Logger {
  public:
+  // Called (with the logger latched) for every non-empty batch the logger
+  // closes, i.e., exactly when the file becomes immutable.
+  using CloseCallback = std::function<void(const BatchCoverage&)>;
+
   // `start_seq` resumes this logger's batch stream past the batches an
   // earlier process left on a persistent device (0 on a fresh device).
   Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
-         uint32_t epochs_per_batch, uint64_t start_seq = 0);
+         uint32_t epochs_per_batch, uint64_t start_seq = 0,
+         CloseCallback on_close = nullptr);
   PACMAN_DISALLOW_COPY_AND_MOVE(Logger);
 
   // Appends one record to the current epoch buffer (thread-safe).
@@ -75,6 +92,13 @@ class Logger {
   uint64_t bytes_logged() const { return bytes_logged_; }
   uint64_t batches_written() const { return batches_written_; }
   uint32_t id() const { return id_; }
+  // Sequence number of the in-progress batch: the file at this seq (and
+  // only it — later seqs don't exist yet) is still mutable and must never
+  // be truncated.
+  uint64_t open_seq() {
+    std::lock_guard<std::mutex> g(mu_);
+    return current_.seq;
+  }
 
  private:
   void CloseBatch();
@@ -83,6 +107,7 @@ class Logger {
   const LogScheme scheme_;
   device::StorageDevice* device_;
   const uint32_t epochs_per_batch_;
+  const CloseCallback on_close_;
 
   std::mutex mu_;
   LogBatch current_;
@@ -145,6 +170,22 @@ class LogManager {
     return devices_;
   }
 
+  // --- Batch coverage (log garbage collection surface) -----------------
+  // Every batch a live logger closes lands in a registry of
+  // (logger, seq) → max commit-ts entries. TakeTruncatable removes and
+  // returns the entries wholly covered by a checkpoint at `ts`
+  // (max_cts <= ts) — "take" because the caller deletes those files, and
+  // an entry must not be handed out twice. Entries that are not yet
+  // covered stay for a later pass. Batch files inherited from an earlier
+  // process predate the registry; callers read their coverage from the
+  // file header (LogStore::ReadBatchCoverage).
+  std::vector<BatchCoverage> TakeTruncatable(Timestamp ts);
+  // Smallest in-progress batch seq across loggers: files at or past it
+  // may still be appended to (or only exist as a flushed prefix image)
+  // and are never truncation candidates. kOff or zero loggers → 0, which
+  // holds back everything — there is nothing to truncate anyway.
+  uint64_t MinOpenSeq();
+
   // Upper bound on worker log-buffer slots (sessions + executor workers
   // over a database's lifetime): kMaxWorkerBufferChunks chunks of
   // kWorkerBufferChunkSize buffers each.
@@ -196,6 +237,12 @@ class LogManager {
   std::atomic<uint32_t> num_worker_buffers_{0};
   std::mutex grow_mu_;   // Serializes EnsureWorkerBuffers.
   std::mutex flush_mu_;  // Serializes FlushAll / FinalizeAll.
+
+  // Closed-batch coverage registry. Appended from Logger::CloseBatch with
+  // that logger's mu_ held (lock order: Logger::mu_ → coverage_mu_; no
+  // path takes them in the other order).
+  std::mutex coverage_mu_;
+  std::vector<BatchCoverage> closed_batches_;
 };
 
 // Builds the log record for a committed transaction under `scheme`.

@@ -9,7 +9,12 @@
 namespace pacman::logging {
 
 namespace {
-constexpr uint32_t kBatchMagic = 0x50414342;  // "PACB"
+// v1 header: magic, logger_id, seq, first_epoch, last_epoch, count.
+constexpr uint32_t kBatchMagicV1 = 0x50414342;  // "PACB"
+// v2 adds min_cts/max_cts before the count, so garbage collection can
+// read a batch's commit-timestamp coverage without parsing records.
+// Writers always emit v2; readers accept both.
+constexpr uint32_t kBatchMagicV2 = 0x50414332;  // "PAC2"
 
 // Parses a decimal run starting at `pos`; advances `pos` past it.
 bool ParseDigits(const std::string& s, size_t* pos, uint64_t* out) {
@@ -55,7 +60,7 @@ bool LogStore::ParseBatchFileName(const std::string& name,
 
 size_t LogStore::SerializedBatchBytes(LogScheme scheme,
                                       const LogBatch& batch) {
-  size_t n = 4 + 4 + 8 + 8 + 8 + 4;  // Header fields + record count.
+  size_t n = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4;  // v2 header + record count.
   for (const LogRecord& r : batch.records) {
     n += SerializedRecordBytes(scheme, r);
   }
@@ -64,12 +69,23 @@ size_t LogStore::SerializedBatchBytes(LogScheme scheme,
 
 std::vector<uint8_t> LogStore::SerializeBatch(LogScheme scheme,
                                               const LogBatch& batch) {
+  // The cts interval is recomputed from the records, not taken from the
+  // struct fields: rewrites (TruncateBeyondWatermark) drop records, and a
+  // stale interval would let garbage collection delete uncovered commits.
+  Timestamp min_cts = kMaxTimestamp;
+  Timestamp max_cts = 0;
+  for (const LogRecord& r : batch.records) {
+    min_cts = std::min(min_cts, r.commit_ts);
+    max_cts = std::max(max_cts, r.commit_ts);
+  }
   Serializer out(SerializedBatchBytes(scheme, batch));
-  out.PutU32(kBatchMagic);
+  out.PutU32(kBatchMagicV2);
   out.PutU32(batch.logger_id);
   out.PutU64(batch.seq);
   out.PutU64(batch.first_epoch);
   out.PutU64(batch.last_epoch);
+  out.PutU64(min_cts);
+  out.PutU64(max_cts);
   out.PutU32(static_cast<uint32_t>(batch.records.size()));
   for (const LogRecord& r : batch.records) {
     SerializeRecord(scheme, r, &out);
@@ -103,7 +119,7 @@ Status LogStore::DeserializeBatch(
   uint32_t magic;
   Status s = in.GetU32(&magic);
   if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "magic");
-  if (magic != kBatchMagic) {
+  if (magic != kBatchMagicV1 && magic != kBatchMagicV2) {
     return AnnotateParseError(Status::Corruption("bad batch magic"), opts, 0,
                               "magic");
   }
@@ -115,6 +131,14 @@ Status LogStore::DeserializeBatch(
   if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
   s = in.GetU64(&out->last_epoch);
   if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
+  out->min_cts = kMaxTimestamp;
+  out->max_cts = 0;
+  if (magic == kBatchMagicV2) {
+    s = in.GetU64(&out->min_cts);
+    if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
+    s = in.GetU64(&out->max_cts);
+    if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
+  }
   uint32_t n = 0;
   s = in.GetU32(&n);
   if (!s.ok()) {
@@ -139,6 +163,12 @@ Status LogStore::DeserializeBatch(
           ("record " + std::to_string(i) + " of " + std::to_string(n))
               .c_str());
     }
+    if (magic == kBatchMagicV1) {
+      // v1 headers carry no cts interval; derive it so every reloaded
+      // batch answers coverage questions uniformly.
+      out->min_cts = std::min(out->min_cts, out->records[i].commit_ts);
+      out->max_cts = std::max(out->max_cts, out->records[i].commit_ts);
+    }
   }
   out->file_bytes = bytes->size();
   if (opts.borrow) {
@@ -148,6 +178,43 @@ Status LogStore::DeserializeBatch(
   } else {
     out->backing.reset();
   }
+  return Status::Ok();
+}
+
+Status LogStore::ReadBatchCoverage(LogScheme scheme,
+                                   device::StorageDevice* device,
+                                   const std::string& name, LogBatch* out) {
+  std::vector<uint8_t> bytes;
+  Status s = device->ReadFile(name, &bytes);
+  if (!s.ok()) return s;
+  Deserializer in(bytes);
+  uint32_t magic = 0;
+  s = in.GetU32(&magic);
+  if (!s.ok()) return Status::Corruption("batch file " + name + ": " +
+                                         s.message());
+  if (magic == kBatchMagicV2) {
+    // Header-only parse; records stay unread.
+    s = in.GetU32(&out->logger_id);
+    if (s.ok()) s = in.GetU64(&out->seq);
+    if (s.ok()) s = in.GetU64(&out->first_epoch);
+    if (s.ok()) s = in.GetU64(&out->last_epoch);
+    if (s.ok()) s = in.GetU64(&out->min_cts);
+    if (s.ok()) s = in.GetU64(&out->max_cts);
+    if (!s.ok()) {
+      return Status::Corruption("batch file " + name + ": " + s.message());
+    }
+    out->records.clear();
+    out->backing.reset();
+    out->file_bytes = bytes.size();
+    return Status::Ok();
+  }
+  // v1 (or anything else DeserializeBatch will reject loudly): full parse.
+  LogBatch full;
+  s = DeserializeBatch(scheme, std::move(bytes), {false, name}, &full);
+  if (!s.ok()) return s;
+  full.records.clear();
+  full.backing.reset();
+  *out = std::move(full);
   return Status::Ok();
 }
 

@@ -23,6 +23,13 @@ struct LogBatch {
   uint64_t seq = 0;  // Batch sequence number within the logger's stream.
   Epoch first_epoch = 0;
   Epoch last_epoch = 0;
+  // Commit-timestamp interval of the records ([kMaxTimestamp, 0] when
+  // empty). Carried in the v2 file header so log garbage collection can
+  // decide "wholly covered by a checkpoint at ts?" without parsing
+  // records; derived by scanning the records when reloading a
+  // historical v1 file.
+  Timestamp min_cts = kMaxTimestamp;
+  Timestamp max_cts = 0;
   size_t file_bytes = 0;  // Size of the batch file on its device.
   std::vector<LogRecord> records;  // Ascending commit_ts.
   // The raw file bytes, retained when the batch was parsed in zero-copy
@@ -91,6 +98,15 @@ class LogStore {
                                  LogBatch* out) {
     return DeserializeBatch(scheme, bytes, BatchParseOptions{}, out);
   }
+
+  // Answers "what commit-timestamp interval does this batch file cover?"
+  // for log garbage collection: fills the header fields of `*out`
+  // (logger_id, seq, epochs, min_cts/max_cts, file_bytes) and leaves
+  // `out->records` empty. v2 files answer from the header alone;
+  // historical v1 files fall back to a full record parse.
+  static Status ReadBatchCoverage(LogScheme scheme,
+                                  device::StorageDevice* device,
+                                  const std::string& name, LogBatch* out);
 
   // Loads and merges the batch streams of all loggers from their devices
   // into a single sequence ordered by (seq, logger), i.e., global reload

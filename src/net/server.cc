@@ -773,6 +773,13 @@ ServerStats Server::stats() const {
   out.protocol_errors = s->protocol_errors.load(std::memory_order_relaxed);
   out.calls = s->calls.load(std::memory_order_relaxed);
   out.call_errors = s->call_errors.load(std::memory_order_relaxed);
+  const maintenance::MaintenanceStats m = db_->maintenance_stats();
+  out.checkpoints = m.checkpoints;
+  out.checkpoint_failures = m.checkpoint_failures;
+  out.log_truncations = m.truncations;
+  out.log_batches_deleted = m.batches_deleted;
+  out.log_bytes_deleted = m.batch_bytes_deleted;
+  out.ckpt_stripes_deleted = m.stripes_deleted;
   return out;
 }
 

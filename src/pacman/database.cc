@@ -30,6 +30,8 @@ Database::Database(DatabaseOptions options)
                    "DatabaseOptions::epochs_per_batch must be >= 1");
   PACMAN_CHECK_MSG(options_.ckpt_files_per_ssd >= 1,
                    "DatabaseOptions::ckpt_files_per_ssd must be >= 1");
+  PACMAN_CHECK_MSG(options_.retain_checkpoints >= 1,
+                   "DatabaseOptions::retain_checkpoints must be >= 1");
   PACMAN_CHECK_MSG(
       options_.device != device::DeviceKind::kFile ||
           !options_.log_dir.empty(),
@@ -75,6 +77,9 @@ Database::Database(DatabaseOptions options)
 }
 
 Database::~Database() {
+  // Quiesce maintenance before anything else: an in-flight background
+  // checkpoint reads tables and devices that are about to be destroyed.
+  StopMaintenance();
   // Stop a still-running executor pool before any member is destroyed:
   // members die in reverse declaration order, so ~TxnService (declared
   // mid-class) would otherwise return its worker slots into an already
@@ -105,26 +110,34 @@ ProcHandle Database::Register(proc::ProcedureDef def) {
 }
 
 void Database::StartWorkers(uint32_t num_workers, size_t queue_capacity) {
-  std::unique_lock<std::shared_mutex> l(service_mu_);
-  PACMAN_CHECK_MSG(service_ == nullptr,
-                   "executor workers are already running");
-  PACMAN_CHECK(!crashed());
-  service_ =
-      std::make_unique<TxnService>(this, num_workers, queue_capacity);
+  {
+    std::unique_lock<std::shared_mutex> l(service_mu_);
+    PACMAN_CHECK_MSG(service_ == nullptr,
+                     "executor workers are already running");
+    PACMAN_CHECK(!crashed());
+    service_ =
+        std::make_unique<TxnService>(this, num_workers, queue_capacity);
+  }
+  StartMaintenance();
 }
 
 void Database::StopWorkers() {
+  StopMaintenance();
   std::unique_lock<std::shared_mutex> l(service_mu_);
   PACMAN_CHECK_MSG(service_ != nullptr, "executor workers are not running");
   service_.reset();  // ~TxnService drains, fulfills futures, joins.
 }
 
 bool Database::EnsureWorkers(uint32_t num_workers, size_t queue_capacity) {
-  std::unique_lock<std::shared_mutex> l(service_mu_);
-  if (service_ != nullptr) return true;
-  if (crashed()) return false;
-  service_ =
-      std::make_unique<TxnService>(this, num_workers, queue_capacity);
+  {
+    std::unique_lock<std::shared_mutex> l(service_mu_);
+    if (service_ == nullptr) {
+      if (crashed()) return false;
+      service_ =
+          std::make_unique<TxnService>(this, num_workers, queue_capacity);
+    }
+  }
+  StartMaintenance();
   return true;
 }
 
@@ -301,18 +314,59 @@ logging::FlushCost Database::AdvanceEpoch() {
 }
 
 logging::CheckpointMeta Database::TakeCheckpoint() {
+  logging::CheckpointMeta meta;
+  Status s = TryTakeCheckpoint(&meta);
+  PACMAN_CHECK_MSG(s.ok(), "checkpoint failed");
+  return meta;
+}
+
+Status Database::TryTakeCheckpoint(logging::CheckpointMeta* out) {
   // The snapshot base must be *stable*: with parallel commit,
   // LastCommitted() may already include a TID whose predecessor is still
   // mid-install, and scanning at such a timestamp could miss a committed
   // write that log replay would then drop as "<= checkpoint_ts".
   // StableTimestamp() waits out in-flight commits first.
+  //
+  // ckpt_mu_ serializes id issuance between the background service and
+  // manual calls; a failed attempt burns its id (the files of a later
+  // retry never collide with the torn leftovers).
+  std::lock_guard<std::mutex> g(ckpt_mu_);
   return checkpointer_->TakeCheckpoint(next_ckpt_id_++,
                                        txn_manager_.StableTimestamp(),
-                                       options_.ckpt_files_per_ssd);
+                                       options_.ckpt_files_per_ssd, out);
+}
+
+void Database::StartMaintenance() {
+  if (options_.checkpoint_interval_s <= 0 &&
+      options_.checkpoint_log_bytes == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> g(maint_mu_);
+  if (maint_ == nullptr) {
+    maint_pool_ = std::make_unique<exec::ThreadPool>(1, "maint");
+    maintenance::CheckpointPolicy policy;
+    policy.interval_s = options_.checkpoint_interval_s;
+    policy.log_bytes = options_.checkpoint_log_bytes;
+    policy.retain = options_.retain_checkpoints;
+    policy.truncate_log = options_.truncate_log;
+    maint_ = std::make_unique<maintenance::CheckpointService>(
+        this, policy, maint_pool_.get(), options_.checkpoint_event_hook);
+  }
+  maint_->Start();
+}
+
+void Database::StopMaintenance() {
+  std::lock_guard<std::mutex> g(maint_mu_);
+  if (maint_ != nullptr) maint_->Stop();
 }
 
 void Database::Crash() {
   PACMAN_CHECK(!crashed());
+  // Quiesce background maintenance first (and outside service_mu_): an
+  // in-flight cycle finishes cleanly — a checkpoint it completes is as
+  // durable as a manual one — and nothing scans tables while they reset
+  // below. EnsureWorkers restarts the service after recovery.
+  StopMaintenance();
   // Held exclusive across the whole crash: a submitter racing this call
   // either lands before the pool drains (its transaction commits and
   // resolves below) or blocks and then observes kUnavailable on the
@@ -608,7 +662,10 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
                      options_.scheme, devices, epoch_floor)
                      .ok());
   }
-  next_ckpt_id_ = std::max(next_ckpt_id_, meta.id + 1);
+  {
+    std::lock_guard<std::mutex> g(ckpt_mu_);
+    next_ckpt_id_ = std::max(next_ckpt_id_, meta.id + 1);
+  }
   crashed_.store(false, std::memory_order_release);
   return result;
 }

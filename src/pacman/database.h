@@ -40,8 +40,10 @@
 #include "device/file_device.h"
 #include "device/simulated_ssd.h"
 #include "device/storage_device.h"
+#include "exec/thread_pool.h"
 #include "logging/checkpointer.h"
 #include "logging/log_manager.h"
+#include "maintenance/checkpoint_service.h"
 #include "proc/compiler.h"
 #include "proc/interpreter.h"
 #include "proc/registry.h"
@@ -83,6 +85,23 @@ struct DatabaseOptions {
   // interpreter, kept as the parity oracle (tests/bytecode_test.cc pins
   // the two bit-identical).
   bool compiled_procedures = true;
+  // --- Continuous maintenance (maintenance/checkpoint_service.h) --------
+  // Background checkpoint triggers: wall-time interval and/or logged
+  // bytes since the last checkpoint. Either one > 0 enables the service,
+  // which starts with the executor pool (StartWorkers / EnsureWorkers)
+  // and stops with it (and across Crash()/Recover()). Both zero (the
+  // default) = no background maintenance; TakeCheckpoint() stays manual.
+  double checkpoint_interval_s = 0.0;
+  uint64_t checkpoint_log_bytes = 0;
+  // Durable checkpoints kept after each new one commits (>= 1).
+  uint32_t retain_checkpoints = 1;
+  // Delete log batch files wholly covered by the latest durable
+  // checkpoint (and superseded checkpoint stripes) after each cycle.
+  bool truncate_log = true;
+  // Optional observer, invoked on the maintenance thread after each
+  // completed cycle (bank_server prints its per-checkpoint log line
+  // from here).
+  maintenance::CheckpointEventHook checkpoint_event_hook;
 };
 
 // How recovery graphs execute: on the deterministic simulated multicore
@@ -247,7 +266,31 @@ class Database {
   }
 
   // --- Durability --------------------------------------------------------
+  // Takes a checkpoint at a stable timestamp; aborts the process on
+  // device failure (the historical convenience form tests and examples
+  // use at known-good points).
   logging::CheckpointMeta TakeCheckpoint();
+  // Status-returning form: snapshot at StableTimestamp(), stripes +
+  // barrier + meta commit record + readback verification
+  // (logging/checkpointer.h). Non-ok means nothing durable was committed
+  // under this id and the log must NOT be truncated against it. This is
+  // what the background maintenance service calls.
+  Status TryTakeCheckpoint(logging::CheckpointMeta* out);
+  logging::Checkpointer* checkpointer() { return checkpointer_.get(); }
+
+  // Background maintenance service (null until a checkpoint trigger is
+  // configured and the executor pool first starts).
+  maintenance::CheckpointService* maintenance_service() {
+    std::lock_guard<std::mutex> g(maint_mu_);
+    return maint_.get();
+  }
+  // Snapshot of the maintenance counters; zeros before the service ever
+  // ran. The network front-end surfaces these in Server::stats().
+  maintenance::MaintenanceStats maintenance_stats() const {
+    std::lock_guard<std::mutex> g(maint_mu_);
+    return maint_ != nullptr ? maint_->stats()
+                             : maintenance::MaintenanceStats{};
+  }
 
   // Simulates a crash: closes the log streams at the current boundary and
   // drops all in-memory table state. The catalog schemas, registry and
@@ -281,6 +324,15 @@ class Database {
   }
 
  private:
+  // Starts the background checkpoint service (no-op unless a trigger is
+  // configured). Called whenever the executor pool comes up.
+  void StartMaintenance();
+  // Stops the service, waiting out any in-flight cycle; the service
+  // object (and its counters) survive for a later StartMaintenance.
+  // Idempotent. Must be called before tearing down table state (Crash)
+  // or members the service reads (~Database).
+  void StopMaintenance();
+
   DatabaseOptions options_;
   std::vector<std::unique_ptr<device::StorageDevice>> devices_;
   storage::Catalog catalog_;
@@ -303,7 +355,16 @@ class Database {
   mutable std::shared_mutex service_mu_;
   std::unique_ptr<TxnService> service_;  // Non-null while workers run.
 
+  // Maintenance lifecycle. Lock order: maint_mu_ is leaf-most among the
+  // database's own mutexes, but CheckpointService::Stop blocks on an
+  // in-flight cycle, so StopMaintenance must never run under service_mu_
+  // (the cycle takes no database locks beyond ckpt_mu_).
+  mutable std::mutex maint_mu_;
+  std::unique_ptr<exec::ThreadPool> maint_pool_;
+  std::unique_ptr<maintenance::CheckpointService> maint_;
+
   std::atomic<uint64_t> num_commits_{0};
+  std::mutex ckpt_mu_;  // Serializes checkpoint id issuance.
   uint64_t next_ckpt_id_ = 0;
   std::atomic<double> total_flush_seconds_{0.0};
   std::atomic<bool> crashed_{false};

@@ -121,6 +121,16 @@ void Table::ForEachSlot(const std::function<void(TupleSlot*)>& fn) const {
   }
 }
 
+std::vector<TupleSlot*> Table::SnapshotSlots() const {
+  SpinLatchGuard g(arena_latch_);
+  std::vector<TupleSlot*> out;
+  out.reserve(arena_.size());
+  for (const TupleSlot& slot : arena_) {
+    out.push_back(const_cast<TupleSlot*>(&slot));
+  }
+  return out;
+}
+
 uint64_t Table::NumKeys() const { return arena_.size(); }
 
 uint64_t Table::ContentHash(Timestamp ts) const {

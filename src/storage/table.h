@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/schema.h"
@@ -83,7 +84,18 @@ class Table {
                 const std::function<bool(Key, const Row&)>& callback) const;
 
   // Visits every slot (any order, including logically deleted tuples).
+  // NOT safe against concurrent slot creation; single-threaded callers
+  // (recovery, tests) only.
   void ForEachSlot(const std::function<void(TupleSlot*)>& fn) const;
+
+  // Stable pointers to every slot currently in the arena, collected under
+  // the arena latch — the traversal a *background* checkpoint scan uses
+  // while concurrent transactions keep inserting keys (ForEachSlot's bare
+  // iteration races the deque growth). The deque gives pointer stability,
+  // so the returned pointers stay valid; slots created after the snapshot
+  // cannot hold a version visible at the checkpoint's (already stable)
+  // timestamp, so missing them is not a hole in the snapshot.
+  std::vector<TupleSlot*> SnapshotSlots() const;
 
   // --- Introspection ------------------------------------------------------
   uint64_t NumKeys() const;

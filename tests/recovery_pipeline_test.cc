@@ -157,6 +157,9 @@ class SlowReadDevice final : public device::StorageDevice {
     return inner_->ListFiles(prefix);
   }
   void RemoveAll() override { inner_->RemoveAll(); }
+  double RemoveFile(const std::string& name) override {
+    return inner_->RemoveFile(name);
+  }
   size_t FileSize(const std::string& name) const override {
     return inner_->FileSize(name);
   }
@@ -305,7 +308,8 @@ TEST(CorruptBatchTest, TruncatedBatchFileOnPersistentDeviceIsLoud) {
   // A valid header with a garbage record count must be rejected by the
   // bytes-remaining bound, not attempted as a giant allocation.
   std::vector<uint8_t> bad_count = bytes;
-  const size_t count_off = 4 + 4 + 8 + 8 + 8;  // After magic + header.
+  // After magic + header (logger, seq, epochs, min_cts/max_cts interval).
+  const size_t count_off = 4 + 4 + 8 + 8 + 8 + 8 + 8;
   for (int i = 0; i < 4; ++i) bad_count[count_off + i] = 0xff;
   dev.WriteFile(name, bad_count);
   s = logging::LogStore::LoadAllBatches(LogScheme::kCommand, {&dev}, &out);
