@@ -4,6 +4,8 @@
 // strtol loops, so every binary accepts the same dimension flags:
 //
 //   --threads N       forward-processing worker count (>= 1)
+//   --shards N        hash-partition count for tables/loggers/recovery
+//                     lanes (>= 1; 1 = the unsharded engine)
 //   --txns N          transaction count (>= 1)
 //   --seed N          workload RNG seed
 //   --adhoc F         fraction of transactions tagged ad-hoc, in [0, 1]
@@ -38,6 +40,7 @@ namespace pacman {
 
 struct CommonFlags {
   uint32_t threads = 1;
+  uint32_t shards = 1;  // Table/logger/recovery partitions (1 = unsharded).
   uint64_t txns = 0;  // 0 = "use the binary's default".
   uint64_t seed = 42;
   double adhoc = 0.0;
@@ -58,7 +61,7 @@ struct CommonFlags {
 namespace flags_internal {
 
 inline const char kSupported[] =
-    "supported flags: --threads N  --txns N  --seed N  --adhoc F  "
+    "supported flags: --threads N  --shards N  --txns N  --seed N  --adhoc F  "
     "--device sim|file  --log-dir PATH  --json PATH  --host ADDR  "
     "--port N  --connections N  --checkpoint-secs S  --checkpoint-mb N\n";
 
@@ -133,6 +136,13 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
                               next);
       }
       flags.threads = static_cast<uint32_t>(v);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const uint64_t v = flags_internal::ParseU64(arg, next, /*min_value=*/1);
+      if (v > 0xffffffffull) {
+        flags_internal::Usage(arg, "a shard count that fits in 32 bits",
+                              next);
+      }
+      flags.shards = static_cast<uint32_t>(v);
     } else if (std::strcmp(arg, "--txns") == 0) {
       flags.txns = flags_internal::ParseU64(arg, next, /*min_value=*/1);
     } else if (std::strcmp(arg, "--seed") == 0) {

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/serializer.h"
+#include "storage/shard.h"
 
 namespace pacman::logging {
 
@@ -105,13 +106,29 @@ Status Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
   // version chains are read through the MVCC visibility check at `ts`,
   // which concurrent installs (always at timestamps > ts once ts is
   // stable) never disturb.
+  //
+  // Sharded engines stripe shard-locally instead: a tuple lands on the
+  // device of its home shard (ShardOfKey % num_ssds — the same folding
+  // that places shard s's logger), round-robin across that device's
+  // files. Each shard's checkpoint data then sits next to its log, so a
+  // per-shard recovery lane touches one device group end to end.
   uint32_t next = 0;
+  std::vector<uint32_t> next_file(num_ssds, 0);
   for (const auto& table : catalog_->tables()) {
     for (storage::TupleSlot* slot : table->SnapshotSlots()) {
       const storage::Version* v = slot->VisibleAt(ts);
       if (v == nullptr || v->deleted) continue;
-      Serializer& s = stripes[next];
-      next = (next + 1) % num_stripes;
+      uint32_t stripe;
+      if (num_shards_ > 1) {
+        const uint32_t d =
+            storage::ShardOfKey(slot->key, num_shards_) % num_ssds;
+        stripe = d * files_per_ssd + next_file[d];
+        next_file[d] = (next_file[d] + 1) % files_per_ssd;
+      } else {
+        stripe = next;
+        next = (next + 1) % num_stripes;
+      }
+      Serializer& s = stripes[stripe];
       s.PutU32(table->id());
       s.PutU64(slot->key);
       if (scheme_ == LogScheme::kPhysical) {

@@ -46,9 +46,17 @@ struct CheckpointStripe {
 
 class Checkpointer {
  public:
+  // `num_shards` > 1 stripes shard-locally: a tuple's stripe lives on the
+  // device its home shard's logger flushes to, so per-shard recovery and
+  // truncation stay device-local. `num_shards` == 1 keeps the original
+  // global round-robin striping, byte for byte.
   Checkpointer(storage::Catalog* catalog, LogScheme scheme,
-               std::vector<device::StorageDevice*> devices)
-      : catalog_(catalog), scheme_(scheme), devices_(std::move(devices)) {}
+               std::vector<device::StorageDevice*> devices,
+               uint32_t num_shards = 1)
+      : catalog_(catalog),
+        scheme_(scheme),
+        devices_(std::move(devices)),
+        num_shards_(num_shards) {}
 
   // Writes a consistent snapshot at `ts`, striped over `files_per_ssd`
   // files on each device, barriers, then commits it by writing the meta
@@ -96,6 +104,7 @@ class Checkpointer {
   storage::Catalog* catalog_;
   LogScheme scheme_;
   std::vector<device::StorageDevice*> devices_;
+  uint32_t num_shards_ = 1;
 };
 
 }  // namespace pacman::logging

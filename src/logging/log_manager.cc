@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "storage/shard.h"
+
 namespace pacman::logging {
 
 Logger::Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
@@ -116,12 +118,20 @@ LogManager::LogManager(LogScheme scheme,
                        std::vector<device::StorageDevice*> devices,
                        uint32_t num_loggers, uint32_t epochs_per_batch,
                        txn::EpochManager* epochs,
-                       txn::TransactionManager* txns)
+                       txn::TransactionManager* txns, uint32_t num_shards)
     : scheme_(scheme),
       devices_(std::move(devices)),
       epochs_(epochs),
-      txns_(txns) {
+      txns_(txns),
+      num_shards_(num_shards) {
   PACMAN_CHECK(scheme == LogScheme::kOff || !devices_.empty());
+  PACMAN_CHECK_MSG(num_shards_ >= 1, "LogManager num_shards must be >= 1");
+  // Sharded routing keys the durable streams by shard: logger s must BE
+  // shard s's log, or per-shard recovery would read a mixed stream.
+  PACMAN_CHECK_MSG(
+      num_shards_ == 1 || scheme == LogScheme::kOff ||
+          num_loggers == num_shards_,
+      "sharded logging requires num_loggers == num_shards");
   if (scheme != LogScheme::kOff) {
     // Resume every logger at one common sequence number past the largest
     // batch any previous process persisted, on any device and from any
@@ -189,7 +199,6 @@ void LogManager::OnCommit(const txn::Transaction& txn,
   if (scheme_ == LogScheme::kOff) return;
   // Read-only transactions generate no log records (paper, Appendix C).
   if (txn.write_set().empty()) return;
-  LogRecord record = MakeRecord(scheme_, txn, info);
   const WorkerId worker = txn.worker_id();
   WorkerBuffer* buf =
       worker != kInvalidWorkerId ? worker_buffer(worker) : nullptr;
@@ -199,8 +208,123 @@ void LogManager::OnCommit(const txn::Transaction& txn,
   // drained, never appended straight to a logger, so the quiesced-cut
   // guarantee covers every record (see fallback_buffer_).
   if (buf == nullptr) buf = &fallback_buffer_;
+  if (num_shards_ > 1) {
+    StageSharded(txn, info, buf);
+    return;
+  }
+  LogRecord record = MakeRecord(scheme_, txn, info);
   SpinLatchGuard g(buf->latch);
   buf->records.push_back(std::move(record));
+}
+
+void LogManager::StageSharded(const txn::Transaction& txn,
+                              const txn::CommitInfo& info,
+                              WorkerBuffer* buf) {
+  // Classify against the transaction's *actual* access set (the dynamic
+  // analogue of the compiler's static summary, so ad-hoc transactions
+  // classify too). Single-shard means the record routes whole to its home
+  // shard's logger; everything else splits below.
+  const std::vector<txn::WriteEntry>& writes = txn.write_set();
+  const uint32_t home = storage::ShardOfKey(writes[0].key, num_shards_);
+  // Statically single-shard procedures (one key expression, so one key
+  // value per execution) need no scan at all — `home` covers every
+  // access by construction.
+  bool single = true;
+  if (!txn.static_single_shard()) {
+    for (const txn::WriteEntry& w : writes) {
+      if (storage::ShardOfKey(w.key, num_shards_) != home) {
+        single = false;
+        break;
+      }
+    }
+  }
+  const bool cl_native = scheme_ == LogScheme::kCommand && !txn.is_adhoc();
+  if (single && cl_native && !txn.static_single_shard()) {
+    // A native command record is replayed by re-executing the procedure,
+    // reads included, so shard s may replay it independently only when
+    // the reads live in s too. Statically single-shard procedures proved
+    // this at compile time (one key expression → one key value); for the
+    // rest, scan the read set.
+    for (const txn::ReadEntry& r : txn.read_set()) {
+      if (storage::ShardOfKey(r.key, num_shards_) != home) {
+        single = false;
+        break;
+      }
+    }
+  }
+  if (single) {
+    LogRecord record = MakeRecord(scheme_, txn, info);
+    record.home_shard = home;
+    SpinLatchGuard g(buf->latch);
+    buf->single_commits++;
+    buf->records.push_back(std::move(record));
+    return;
+  }
+  // Cross-shard: split the write set into one tuple-level sub-record per
+  // touched shard, all sharing this commit's TID and epoch. Each shard's
+  // durable stream then stays self-contained, and replay stays correct
+  // because the sub-records touch disjoint key sets — the engine's
+  // ordering contract is per-key commit-TID order, not a global sequence
+  // (recovery/recovery.h), and per key the one sub-record carrying it
+  // preserves program order. Under CL this is the same downgrade ad-hoc
+  // transactions already take (§4.5 row-level logical images).
+  // Touched-shard dedup by linear scan: a write set holds a handful of
+  // keys, so scanning the open sub-records beats allocating a
+  // num_shards-wide map on every cross-shard commit.
+  std::vector<LogRecord> subs;
+  subs.reserve(std::min<size_t>(writes.size(), num_shards_));
+  for (const txn::WriteEntry& w : writes) {
+    const uint32_t s = storage::ShardOfKey(w.key, num_shards_);
+    LogRecord* sub = nullptr;
+    for (LogRecord& open : subs) {
+      if (open.home_shard == s) {
+        sub = &open;
+        break;
+      }
+    }
+    if (sub == nullptr) {
+      LogRecord fresh;
+      fresh.commit_ts = info.commit_ts;
+      fresh.epoch = info.epoch;
+      fresh.proc = kAdhocProcId;
+      fresh.home_shard = s;
+      subs.push_back(std::move(fresh));
+      sub = &subs.back();
+    }
+    WriteImage img;
+    img.table = w.table->id();
+    img.key = w.key;
+    img.after = w.row;
+    img.deleted = w.deleted;
+    sub->writes.push_back(std::move(img));
+  }
+  SpinLatchGuard g(buf->latch);
+  buf->cross_commits++;
+  for (LogRecord& sub : subs) buf->records.push_back(std::move(sub));
+}
+
+uint64_t LogManager::single_shard_commits() {
+  uint64_t n = 0;
+  const uint32_t count = num_worker_buffers_.load(std::memory_order_acquire);
+  for (WorkerId w = 0; w < count; ++w) {
+    WorkerBuffer* buf = worker_buffer(w);
+    SpinLatchGuard g(buf->latch);
+    n += buf->single_commits;
+  }
+  SpinLatchGuard g(fallback_buffer_.latch);
+  return n + fallback_buffer_.single_commits;
+}
+
+uint64_t LogManager::cross_shard_commits() {
+  uint64_t n = 0;
+  const uint32_t count = num_worker_buffers_.load(std::memory_order_acquire);
+  for (WorkerId w = 0; w < count; ++w) {
+    WorkerBuffer* buf = worker_buffer(w);
+    SpinLatchGuard g(buf->latch);
+    n += buf->cross_commits;
+  }
+  SpinLatchGuard g(fallback_buffer_.latch);
+  return n + fallback_buffer_.cross_commits;
 }
 
 LogManager::WorkerBuffer* LogManager::worker_buffer(WorkerId w) {
@@ -235,7 +359,13 @@ void LogManager::EnsureWorkerBuffers(uint32_t num_workers) {
 }
 
 void LogManager::RouteToLogger(LogRecord record) {
-  Logger& logger = *loggers_[record.commit_ts % loggers_.size()];
+  // Sharded: the record's home shard owns it — logger s is shard s's
+  // durable stream, which is what lets recovery run one pipeline per
+  // shard with no cross-shard merge. Unsharded: spread by commit TID.
+  const size_t i = num_shards_ > 1
+                       ? record.home_shard % loggers_.size()
+                       : record.commit_ts % loggers_.size();
+  Logger& logger = *loggers_[i];
   logger.Append(std::move(record));
 }
 

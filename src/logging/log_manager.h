@@ -129,10 +129,18 @@ class LogManager {
   // `txns`, when given, provides the commit quiesce barrier drains run
   // under (see DrainWorkerBuffers); without it (unit scaffolding only)
   // drains assume no concurrent committers.
+  //
+  // `num_shards` > 1 turns on partitioned routing: logger s is shard s's
+  // logger (the Database forces num_loggers == num_shards), commits are
+  // classified single- vs cross-shard from their actual access sets, and
+  // cross-shard commits are split into per-shard sub-records — see
+  // OnCommit. `num_shards` == 1 routes by commit TID, exactly the
+  // unsharded engine.
   LogManager(LogScheme scheme, std::vector<device::StorageDevice*> devices,
              uint32_t num_loggers, uint32_t epochs_per_batch,
              txn::EpochManager* epochs,
-             txn::TransactionManager* txns = nullptr);
+             txn::TransactionManager* txns = nullptr,
+             uint32_t num_shards = 1);
   ~LogManager();
   PACMAN_DISALLOW_COPY_AND_MOVE(LogManager);
 
@@ -166,9 +174,22 @@ class LogManager {
   LogScheme scheme() const { return scheme_; }
   uint64_t total_bytes() const;
   size_t num_loggers() const { return loggers_.size(); }
+  uint32_t num_shards() const { return num_shards_; }
   const std::vector<device::StorageDevice*>& devices() const {
     return devices_;
   }
+
+  // Sharded-routing commit classification counters (num_shards > 1 only;
+  // both stay 0 when unsharded). A commit counts as single-shard when its
+  // whole record routed to one home logger, cross-shard when it had to be
+  // split into per-shard sub-records. The counts live in the per-worker
+  // staging buffers (bumped under the buffer latch the commit already
+  // holds — a shared atomic here would put one contended line on every
+  // sharded commit); these getters sum them, so they are read-side
+  // consistent only once committers have quiesced (test/bench readers
+  // call them after workers join).
+  uint64_t single_shard_commits();
+  uint64_t cross_shard_commits();
 
   // --- Batch coverage (log garbage collection surface) -----------------
   // Every batch a live logger closes lands in a registry of
@@ -195,10 +216,16 @@ class LogManager {
  private:
   // One worker's local log staging area. The latch is effectively
   // uncontended: only the owning worker appends, and only the flusher
-  // drains.
-  struct WorkerBuffer {
+  // drains. Cache-line aligned: buffers sit adjacent in chunk arrays and
+  // every commit writes its worker's buffer, so an unaligned layout
+  // would false-share neighbouring workers' latches.
+  struct alignas(64) WorkerBuffer {
     SpinLatch latch;
     std::vector<LogRecord> records;
+    // Sharded commit classification tallies (see single_shard_commits()),
+    // owned by this buffer's worker; mutated under `latch`.
+    uint64_t single_commits = 0;
+    uint64_t cross_commits = 0;
   };
 
   // The staging buffer of worker `w`, or nullptr when no buffer has been
@@ -221,11 +248,16 @@ class LogManager {
   // (directly when no transaction manager is attached).
   void DrainUnderBarrier();
   void RouteToLogger(LogRecord record);
+  // Sharded OnCommit body: classifies `txn` against its actual read/write
+  // sets, stages either one home-tagged record or per-shard sub-records.
+  void StageSharded(const txn::Transaction& txn, const txn::CommitInfo& info,
+                    WorkerBuffer* buf);
 
   const LogScheme scheme_;
   std::vector<device::StorageDevice*> devices_;
   txn::EpochManager* epochs_;
   txn::TransactionManager* txns_;  // Quiesce barrier source; may be null.
+  const uint32_t num_shards_;
   std::vector<std::unique_ptr<Logger>> loggers_;
 
   // Worker staging buffers in chunked storage: committers index it with

@@ -57,6 +57,13 @@ struct LogRecord {
   // Tuple-level payload (always filled for PL/LL; for CL only when adhoc).
   std::vector<WriteImage> writes;
 
+  // Home shard under partitioned routing (LogManager num_shards > 1):
+  // every key this record touches lives in this shard, so it routes to
+  // that shard's logger. Transient routing metadata — never serialized;
+  // recovery re-derives nothing from it (each shard's pipeline reads only
+  // its own logger's files).
+  uint32_t home_shard = 0;
+
   bool is_adhoc() const { return proc == kAdhocProcId; }
 };
 

@@ -1,6 +1,7 @@
 #include "pacman/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "exec/thread_pool.h"
@@ -15,10 +16,26 @@
 
 namespace pacman {
 
+namespace {
+
+// Applied before any member that depends on the options is constructed
+// (epochs_ sizes per-logger state from num_loggers). Sharding dictates
+// the logger layout: logger s IS shard s's durable stream, so a sharded
+// engine runs exactly num_shards loggers regardless of the caller's
+// num_loggers (which keeps its meaning for num_shards == 1).
+DatabaseOptions NormalizeOptions(DatabaseOptions o) {
+  PACMAN_CHECK_MSG(o.num_shards >= 1,
+                   "DatabaseOptions::num_shards must be >= 1");
+  if (o.num_shards > 1) o.num_loggers = o.num_shards;
+  return o;
+}
+
+}  // namespace
+
 Database::Database(DatabaseOptions options)
-    : options_(options),
+    : options_(NormalizeOptions(std::move(options))),
       registry_(&catalog_),
-      epochs_(options.num_loggers),
+      epochs_(options_.num_loggers),
       txn_manager_(&epochs_) {
   // Validate the configuration up front: a bad option should fail here,
   // with a name, not deep inside the logging pipeline.
@@ -50,11 +67,15 @@ Database::Database(DatabaseOptions options)
           std::make_unique<device::SimulatedSsd>(options_.ssd_config));
     }
   }
+  // Every table created from here on is partitioned num_shards ways; the
+  // logging and checkpoint layers shard with the same ShardOfKey routing.
+  catalog_.set_default_num_shards(options_.num_shards);
   log_manager_ = std::make_unique<logging::LogManager>(
       options_.scheme, device_ptrs(), options_.num_loggers,
-      options_.epochs_per_batch, &epochs_, &txn_manager_);
+      options_.epochs_per_batch, &epochs_, &txn_manager_,
+      options_.num_shards);
   checkpointer_ = std::make_unique<logging::Checkpointer>(
-      &catalog_, options_.scheme, device_ptrs());
+      &catalog_, options_.scheme, device_ptrs(), options_.num_shards);
   txn_manager_.set_commit_hook(
       [this](const txn::Transaction& t, const txn::CommitInfo& info) {
         log_manager_->OnCommit(t, info);
@@ -261,6 +282,9 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
     if (prog != nullptr) {
       t.ReserveFootprint(prog->summary.num_reads, prog->summary.num_writes);
       if (!prog->summary.writes_may_alias) t.MarkWritesDistinct();
+      // Compile-time shard classification (sharded engines): lets the
+      // commit hook route without scanning the access sets.
+      if (prog->summary.single_shard_static) t.set_static_single_shard(true);
       vm = arena.Bind(*prog, &params);
       s = proc::VmExecuteAll(&vm, &access);
     } else {
@@ -466,23 +490,36 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   const bool pipelined = opts.pipelined_load;
   const bool overlap =
       pipelined && backend == ExecutionBackend::kThreads;
+  // A sharded engine recovers each shard on its own lane: one pipelined
+  // loader per shard, filtered to that shard's logger stream. The streams
+  // are disjoint by construction (StageSharded routes every record — or
+  // cross-shard sub-record — to its home shard's logger), so there is no
+  // cross-shard merge stage at all and the lanes replay independently.
+  // The serial reference loader stays global even when sharded: it is the
+  // parity oracle, and equal-TID sub-records commute because they touch
+  // disjoint keys.
+  const uint32_t num_lanes =
+      pipelined && options_.num_shards > 1 ? options_.num_shards : 1;
   std::unique_ptr<exec::ThreadPool> load_pool;
   std::unique_ptr<recovery::CheckpointPrefetch> prefetch;
-  std::unique_ptr<recovery::PipelinedLogLoader> loader;
+  std::vector<std::unique_ptr<recovery::PipelinedLogLoader>> loaders;
   if (pipelined) {
     const uint32_t load_workers = std::max(
         1u, opts.load_threads != 0 ? opts.load_threads : opts.num_threads);
     load_pool = std::make_unique<exec::ThreadPool>(load_workers);
     prefetch = std::make_unique<recovery::CheckpointPrefetch>(
         meta, checkpointer_.get(), load_pool.get());
-    recovery::LogPipelineOptions lopts;
-    lopts.num_threads = load_workers;
-    lopts.checkpoint_ts = meta.ts;
-    lopts.pepoch = pepoch;
-    lopts.num_ssds = num_ssds;
-    loader = std::make_unique<recovery::PipelinedLogLoader>(
-        options_.scheme, devices, load_pool.get(), lopts);
-    loader->Start();
+    for (uint32_t lane = 0; lane < num_lanes; ++lane) {
+      recovery::LogPipelineOptions lopts;
+      lopts.num_threads = load_workers;
+      lopts.checkpoint_ts = meta.ts;
+      lopts.pepoch = pepoch;
+      lopts.num_ssds = num_ssds;
+      if (num_lanes > 1) lopts.logger_filter = lane;
+      loaders.push_back(std::make_unique<recovery::PipelinedLogLoader>(
+          options_.scheme, devices, load_pool.get(), lopts));
+      loaders.back()->Start();
+    }
   }
 
   // --- Stage 1: checkpoint recovery -------------------------------------
@@ -514,7 +551,6 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   // by the time replay may consume a batch it is already checked.
   std::vector<logging::LogBatch> raw_batches;
   std::vector<recovery::GlobalBatch> serial_batches;
-  const std::vector<recovery::GlobalBatch>* batches = nullptr;
   if (!pipelined) {
     s = logging::LogStore::LoadAllBatches(options_.scheme, devices,
                                           &raw_batches);
@@ -528,30 +564,29 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
     // commit protocol.
     Status order = recovery::VerifyPerKeyCommitOrder(serial_batches);
     PACMAN_CHECK_MSG(order.ok(), order.message().c_str());
-    batches = &serial_batches;
-  } else if (!overlap) {
-    // Simulated replay backend: the graph is a virtual-time model and
-    // wants the full batch vector up front — the load itself still ran
-    // multicore (and overlapped checkpoint restore above).
-    Status ls = loader->WaitAll();
-    PACMAN_CHECK_MSG(ls.ok(), loader->error_message());
-    batches = &loader->batches();
-  } else {
-    // Real-thread backend: build the replay graph against the loader's
-    // batch skeletons and gate each batch's tasks on its publication, so
-    // replay of batch k overlaps the load of batch k+1.
-    batches = &loader->batches();
   }
 
-  {
+  // Builds and runs the replay graph for one batch stream — the whole log
+  // (single lane) or one shard's logger stream — and returns the chosen
+  // backend's seconds for it. Counters are shared across lanes (atomic).
+  // `lane_loader` is null on the serial reference path; with `overlap`
+  // the graph is built against the loader's batch skeletons and gated per
+  // batch, so replay of batch k overlaps the load of batch k+1.
+  recovery::RecoveryCounters counters;
+  auto run_log_replay = [&](const std::vector<recovery::GlobalBatch>& batches,
+                            recovery::PipelinedLogLoader* lane_loader,
+                            uint32_t lane_threads) -> double {
+    recovery::RecoveryOptions lane_opts = log_opts;
+    lane_opts.num_threads = lane_threads;
+    if (num_lanes > 1) lane_opts.num_shard_lanes = num_lanes;
+    const bool lane_overlap = overlap && lane_loader != nullptr;
     sim::TaskGraph graph;
-    recovery::RecoveryCounters counters;
     sim::MachineConfig machine_config =
-        recovery::StandardMachine(num_ssds, log_opts.num_threads);
+        recovery::StandardMachine(num_ssds, lane_threads);
     std::vector<sim::TaskId> gates;
     const std::vector<sim::TaskId>* gates_ptr = nullptr;
-    if (overlap) {
-      gates = recovery::AddBatchGates(loader.get(), &graph,
+    if (lane_overlap) {
+      gates = recovery::AddBatchGates(lane_loader, &graph,
                                       recovery::CpuGroup(num_ssds));
       gates_ptr = &gates;
     }
@@ -559,35 +594,36 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
       case recovery::Scheme::kPlr:
       case recovery::Scheme::kLlr:
       case recovery::Scheme::kLlrP:
-        recovery::BuildTupleLogReplay(scheme, *batches, devices, &catalog_,
-                                      log_opts, &graph, &counters,
+        recovery::BuildTupleLogReplay(scheme, batches, devices, &catalog_,
+                                      lane_opts, &graph, &counters,
                                       gates_ptr);
         break;
       case recovery::Scheme::kClr:
-        recovery::BuildClrReplay(*batches, devices, &catalog_, &registry_,
-                                 log_opts, &graph, &counters, gates_ptr,
+        recovery::BuildClrReplay(batches, devices, &catalog_, &registry_,
+                                 lane_opts, &graph, &counters, gates_ptr,
                                  &programs_);
         break;
       case recovery::Scheme::kClrP: {
         const analysis::GlobalDependencyGraph* gdg =
-            log_opts.gdg_override != nullptr ? log_opts.gdg_override : &gdg_;
+            lane_opts.gdg_override != nullptr ? lane_opts.gdg_override
+                                              : &gdg_;
         recovery::ClrPLayout layout;
-        if (overlap && !batches->empty()) {
+        if (lane_overlap && !batches.empty()) {
           // Core assignment from the first merged batch as the workload
           // sample (see PlanClrPLayout): waiting for the whole log here
           // would forfeit the load/replay overlap, and the assignment
           // only shapes scheduling.
-          const recovery::GlobalBatch* first = loader->WaitBatch(0);
-          PACMAN_CHECK_MSG(first != nullptr, loader->error_message());
+          const recovery::GlobalBatch* first = lane_loader->WaitBatch(0);
+          PACMAN_CHECK_MSG(first != nullptr, lane_loader->error_message());
           std::vector<recovery::GlobalBatch> sample(1, *first);
           layout = recovery::PlanClrPLayout(*gdg, sample, &registry_,
-                                            num_ssds, log_opts);
+                                            num_ssds, lane_opts);
         } else {
-          layout = recovery::PlanClrPLayout(*gdg, *batches, &registry_,
-                                            num_ssds, log_opts);
+          layout = recovery::PlanClrPLayout(*gdg, batches, &registry_,
+                                            num_ssds, lane_opts);
         }
-        recovery::BuildClrPReplay(*gdg, *batches, devices, &catalog_,
-                                  &registry_, log_opts, layout, &graph,
+        recovery::BuildClrPReplay(*gdg, batches, devices, &catalog_,
+                                  &registry_, lane_opts, layout, &graph,
                                   &counters, gates_ptr, &programs_);
         machine_config = layout.machine;
         break;
@@ -595,25 +631,117 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
     }
     if (backend == ExecutionBackend::kSimulated) {
       sim::Machine machine(machine_config);
-      result.log.seconds = machine.Run(graph).makespan;
-    } else {
-      result.log.seconds = recovery::RunOnThreads(&graph, opts.num_threads);
+      return machine.Run(graph).makespan;
     }
-    counters.FillStats(&result.log);
+    return recovery::RunOnThreads(&graph, lane_threads);
+  };
+
+  if (!pipelined) {
+    result.log.seconds =
+        run_log_replay(serial_batches, nullptr, log_opts.num_threads);
+  } else if (num_lanes == 1) {
+    if (!overlap) {
+      // Simulated replay backend: the graph is a virtual-time model and
+      // wants the full batch vector up front — the load itself still ran
+      // multicore (and overlapped checkpoint restore above).
+      Status ls = loaders[0]->WaitAll();
+      PACMAN_CHECK_MSG(ls.ok(), loaders[0]->error_message());
+    }
+    result.log.seconds = run_log_replay(loaders[0]->batches(),
+                                        loaders[0].get(),
+                                        log_opts.num_threads);
+  } else {
+    // Per-shard lanes. The replay cores are split evenly: the lanes are
+    // balanced by the shard hash, and a lane never blocks on another.
+    const uint32_t lane_threads =
+        std::max(1u, log_opts.num_threads / num_lanes);
+    if (backend == ExecutionBackend::kSimulated) {
+      for (uint32_t lane = 0; lane < num_lanes; ++lane) {
+        Status ls = loaders[lane]->WaitAll();
+        PACMAN_CHECK_MSG(ls.ok(), loaders[lane]->error_message());
+      }
+      if (scheme == recovery::Scheme::kLlrP) {
+        // Virtual time, latch-free tuple replay: all lanes' graphs run
+        // on ONE machine — each lane keeps its own serial device core
+        // (the streams are disjoint), but the CPU pool is shared, so
+        // the simulated scheduler balances replay work across lanes
+        // exactly as a real machine's cores would. A static
+        // lane_threads-per-lane split would charge the makespan of the
+        // unluckiest lane; the shard hash balances the streams well but
+        // not perfectly, and latch-free installs gain nothing from
+        // bounding how many threads work one lane.
+        sim::TaskGraph graph;
+        recovery::RecoveryOptions lane_opts = log_opts;
+        lane_opts.num_shard_lanes = num_lanes;
+        for (uint32_t lane = 0; lane < num_lanes; ++lane) {
+          recovery::BuildTupleLogReplay(scheme, loaders[lane]->batches(),
+                                        devices, &catalog_, lane_opts,
+                                        &graph, &counters, nullptr);
+        }
+        sim::Machine machine(
+            recovery::StandardMachine(num_ssds, log_opts.num_threads));
+        result.log.seconds = machine.Run(graph).makespan;
+      } else {
+        // Every other scheme keeps one lane_threads-core machine per
+        // lane, finishing when the slowest lane does. For the latched
+        // schemes (PLR/LLR) the bound is not just conservatism: capping
+        // a lane at lane_threads caps how many threads contend on that
+        // lane's tuples, so each write pays LatchCost(lane_threads)
+        // instead of the full pool's — per-shard lanes genuinely shrink
+        // the latch-contention width. CLR-P additionally builds
+        // per-lane machine layouts (its planner allocates per-block
+        // core groups), which cannot share one machine config.
+        double slowest = 0.0;
+        for (uint32_t lane = 0; lane < num_lanes; ++lane) {
+          slowest = std::max(
+              slowest, run_log_replay(loaders[lane]->batches(),
+                                      loaders[lane].get(), lane_threads));
+        }
+        result.log.seconds = slowest;
+      }
+    } else {
+      // Real threads: the lanes genuinely run concurrently (each with its
+      // own per-batch gates when overlapped), and the stage's wall time
+      // is measured around the joins.
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> lanes;
+      lanes.reserve(num_lanes);
+      for (uint32_t lane = 0; lane < num_lanes; ++lane) {
+        lanes.emplace_back([&, lane] {
+          if (!overlap) {
+            Status ls = loaders[lane]->WaitAll();
+            PACMAN_CHECK_MSG(ls.ok(), loaders[lane]->error_message());
+          }
+          run_log_replay(loaders[lane]->batches(), loaders[lane].get(),
+                         lane_threads);
+        });
+      }
+      for (std::thread& lane : lanes) lane.join();
+      result.log.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
   }
+  counters.FillStats(&result.log);
+
   if (pipelined) {
-    // Already returned for the non-overlap path; after an overlapped run
+    // Already returned for the non-overlap paths; after an overlapped run
     // every gate has passed, so this only surfaces a failure that struck
     // past the last published batch.
-    Status ls = loader->WaitAll();
-    PACMAN_CHECK_MSG(ls.ok(), loader->error_message());
+    for (const auto& loader : loaders) {
+      Status ls = loader->WaitAll();
+      PACMAN_CHECK_MSG(ls.ok(), loader->error_message());
+    }
   }
 
   Timestamp max_cts = meta.ts;
   if (pipelined) {
-    max_cts = std::max(max_cts, loader->max_commit_ts());
+    for (const auto& loader : loaders) {
+      max_cts = std::max(max_cts, loader->max_commit_ts());
+    }
   } else {
-    for (const auto& b : *batches) {
+    for (const auto& b : serial_batches) {
       for (const auto* r : b.records) {
         max_cts = std::max(max_cts, r->commit_ts);
       }
@@ -636,9 +764,13 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   bool zombies = false;
   bool any_batches = false;
   if (pipelined) {
-    if (!have_floor) epoch_floor = loader->max_record_epoch();
-    zombies = loader->zombie_records() > 0;
-    any_batches = loader->num_batches() > 0;
+    for (const auto& loader : loaders) {
+      if (!have_floor) {
+        epoch_floor = std::max(epoch_floor, loader->max_record_epoch());
+      }
+      zombies = zombies || loader->zombie_records() > 0;
+      any_batches = any_batches || loader->num_batches() > 0;
+    }
   } else {
     for (const auto& b : raw_batches) {
       for (const auto& r : b.records) {

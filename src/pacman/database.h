@@ -75,6 +75,16 @@ struct DatabaseOptions {
   // once per device index in [0, num_ssds).
   device::DeviceFactory device_factory;
   uint32_t num_loggers = 2;
+  // Hash-partition count for the whole engine (>= 1). N > 1 shards every
+  // table's index/arena, the §4.5 log staging + loggers (num_loggers is
+  // forced to N so logger s is shard s's durable stream), checkpoint
+  // striping, and recovery (one log pipeline per shard, no cross-shard
+  // merge). Single-shard transactions route lock-free to their home
+  // shard; cross-shard commits split into per-shard sub-records under the
+  // same canonical-order OccStampLock commit and group-commit fence, so
+  // every per-shard batch stays an exact TID interval. N == 1 is
+  // bit-identical to the unsharded engine.
+  uint32_t num_shards = 1;
   uint32_t epochs_per_batch = 5;
   // Epoch auto-advance (and group-commit flush) every N commits; 0 = the
   // caller drives epochs via AdvanceEpoch().

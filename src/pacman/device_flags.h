@@ -15,13 +15,17 @@
 
 namespace pacman {
 
-// Applies the shared --device / --log-dir flags to `opts`. `subdir` keeps
-// independent database instances (per scheme, per sweep point) in disjoint
-// directories under the one --log-dir the user passed. The single bridge
-// between CommonFlags and DatabaseOptions, so no binary grows private
-// device plumbing.
+// Applies the shared --device / --log-dir / --shards flags to `opts`.
+// `subdir` keeps independent database instances (per scheme, per sweep
+// point) in disjoint directories under the one --log-dir the user passed.
+// The single bridge between CommonFlags and DatabaseOptions, so no binary
+// grows private device plumbing. A sharded engine gets one device per
+// shard so every shard's logger (and its checkpoint stripes) lives on its
+// own stream — the layout the per-shard recovery lanes assume.
 inline void ApplyDeviceFlags(const CommonFlags& flags, DatabaseOptions* opts,
                              const std::string& subdir = "") {
+  opts->num_shards = flags.shards;
+  if (flags.shards > 1) opts->num_ssds = flags.shards;
   if (!flags.use_file_device()) return;
   opts->device = device::DeviceKind::kFile;
   opts->log_dir =

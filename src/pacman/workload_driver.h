@@ -57,7 +57,10 @@ struct DriverOptions {
   uint32_t pipeline_depth = 256;
 };
 
-struct WorkerStats {
+// Cache-line aligned: the 32-byte struct otherwise packs two workers'
+// hot counters into one 64-byte line, and adjacent executors bumping
+// `committed`/`retries` per transaction false-share it.
+struct alignas(64) WorkerStats {
   uint64_t committed = 0;
   uint64_t failed = 0;   // Exhausted max_retries (kept out of `committed`).
   uint64_t retries = 0;  // Extra OCC attempts beyond the first.

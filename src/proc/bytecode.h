@@ -158,6 +158,12 @@ struct StaticAccessSummary {
   // coarser transaction-chopping pieces (analysis/chopping.h).
   std::vector<std::vector<OpIndex>> slices;
   std::vector<std::vector<OpIndex>> chopping_pieces;
+  // True when every access of the procedure uses one and the same key
+  // expression: each execution then touches exactly one key value, hence
+  // one shard, no matter what the parameters are. The partitioned engine
+  // uses this to route such commits without scanning their access sets
+  // (logging/log_manager.h StageSharded).
+  bool single_shard_static = false;
 };
 
 // A fully lowered procedure. Immutable after compilation; shared by all

@@ -332,6 +332,16 @@ class Compiler {
     for (const auto& [table, count] : writes_per_table) {
       if (count > 1) s.writes_may_alias = true;
     }
+    // Every access sharing one key expression means every execution
+    // resolves them all to a single key value — statically single-shard
+    // under any hash partitioning of the key space.
+    s.single_shard_static = !s.accesses.empty();
+    for (const StaticAccessSummary::OpAccess& acc : s.accesses) {
+      if (acc.key_expr != s.accesses[0].key_expr) {
+        s.single_shard_static = false;
+        break;
+      }
+    }
     // Canonical lock order: by table id, program order within a table
     // (runtime keys break the remaining ties at commit time).
     std::stable_sort(s.canonical_write_order.begin(),

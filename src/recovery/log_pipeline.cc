@@ -7,13 +7,17 @@
 
 namespace pacman::recovery {
 
-LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices) {
+LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices,
+                        uint32_t logger_filter) {
   LogLoadPlan plan;
   for (uint32_t d = 0; d < devices.size(); ++d) {
     for (const std::string& name : devices[d]->ListFiles("log_")) {
       uint32_t logger = 0;
       uint64_t seq = 0;
       if (!logging::LogStore::ParseBatchFileName(name, &logger, &seq)) {
+        continue;
+      }
+      if (logger_filter != kNoLoggerFilter && logger != logger_filter) {
         continue;
       }
       BatchFileInfo info;
@@ -61,7 +65,7 @@ PipelinedLogLoader::~PipelinedLogLoader() {
 }
 
 void PipelinedLogLoader::Start() {
-  plan_ = PlanLogLoad(devices_);
+  plan_ = PlanLogLoad(devices_, options_.logger_filter);
   fragments_.resize(plan_.files.size());
   batches_.resize(plan_.seqs.size());
   pending_.resize(plan_.seqs.size());

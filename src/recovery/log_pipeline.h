@@ -73,7 +73,15 @@ struct LogLoadPlan {
   std::vector<std::vector<size_t>> seq_files;
 };
 
-LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices);
+// `logger_filter` == kNoLoggerFilter plans every logger's stream; a
+// concrete logger id restricts the plan to that stream — the per-shard
+// recovery lanes each plan exactly their own shard's logger (sharded
+// engines route shard s's records to logger s, so the streams are
+// disjoint and need no cross-shard merge).
+inline constexpr uint32_t kNoLoggerFilter = 0xffffffffu;
+
+LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices,
+                        uint32_t logger_filter = kNoLoggerFilter);
 
 struct LogPipelineOptions {
   uint32_t num_threads = 1;  // Load pool workers driving this pipeline.
@@ -81,6 +89,8 @@ struct LogPipelineOptions {
   Epoch pepoch = kMaxTimestamp;
   uint32_t num_ssds = 1;
   bool verify_order = true;
+  // Restrict this loader to one logger's batch stream (see PlanLogLoad).
+  uint32_t logger_filter = kNoLoggerFilter;
 };
 
 // Parallel load + streaming merge of all loggers' batch streams.

@@ -47,6 +47,13 @@ struct RecoveryOptions {
   // Build only the reload stage (io + deserialize), for the "pure file
   // reloading" measurements of Figs. 13a/14a.
   bool reload_only = false;
+  // Set by Database::Recover on per-shard recovery lanes: this replay
+  // graph covers one of `num_shard_lanes` disjoint partitions, so
+  // whole-database costs (PLR's deferred index rebuild) charge only the
+  // lane's 1/N share — each lane rebuilds its own shard's partition
+  // indexes, and the total rebuild work across lanes stays exactly the
+  // unsharded amount.
+  uint32_t num_shard_lanes = 1;
   // Model latch acquisition costs (true for PLR/LLR; Fig. 15 disables).
   bool use_latches = true;
   // CLR-P only: replay with an alternative statically-derived graph

@@ -1,5 +1,6 @@
 #include "recovery/tuple_replay.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/macros.h"
@@ -160,15 +161,19 @@ void BuildTupleLogReplay(Scheme scheme,
   // indexes coherent); only the virtual cost is deferred here, preserving
   // the paper's cost structure.
   if (scheme == Scheme::kPlr && !reload_only) {
+    // A per-shard lane rebuilds only its shard's partition indexes — the
+    // lane's 1/num_shard_lanes share of the keys (RecoveryOptions).
+    const uint32_t lanes = std::max(1u, options.num_shard_lanes);
     sim::TaskId barrier = graph->AddTask(0.0, nullptr, cpu, ~0ull);
     for (sim::TaskId t : replay_tasks) graph->AddEdge(t, barrier);
     for (uint32_t p = 0; p < n_threads; ++p) {
       sim::TaskId t = graph->AddTask(0.0, nullptr, cpu, ~0ull);
-      graph->task(t).dynamic_work = [catalog, counters, cm, n_threads]() {
+      graph->task(t).dynamic_work = [catalog, counters, cm, n_threads,
+                                     lanes]() {
         uint64_t keys = 0;
         for (const auto& table : catalog->tables()) keys += table->NumKeys();
-        const double cost =
-            cm.index_insert * static_cast<double>(keys) / n_threads;
+        const double cost = cm.index_insert * static_cast<double>(keys) /
+                            static_cast<double>(lanes) / n_threads;
         counters->AddUseful(cost);
         return cost;
       };

@@ -20,9 +20,19 @@ class Catalog {
   Catalog() = default;
   PACMAN_DISALLOW_COPY_AND_MOVE(Catalog);
 
-  // Creates a table; PACMAN_CHECKs on duplicate names.
+  // Creates a table (partitioned into `default_num_shards()` shards);
+  // PACMAN_CHECKs on duplicate names.
   Table* CreateTable(const std::string& name, Schema schema,
                      IndexType index_type = IndexType::kBPlusTree);
+
+  // Shard count applied to subsequently created tables. The Database sets
+  // this once from DatabaseOptions::num_shards before any schema install;
+  // every table shares the count so ShardOfKey routes uniformly.
+  void set_default_num_shards(uint32_t n) {
+    PACMAN_CHECK_MSG(n >= 1, "Catalog default_num_shards must be >= 1");
+    default_num_shards_ = n;
+  }
+  uint32_t default_num_shards() const { return default_num_shards_; }
 
   Table* GetTable(const std::string& name) const;
   Table* GetTable(TableId id) const;
@@ -46,6 +56,7 @@ class Catalog {
  private:
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, TableId> by_name_;
+  uint32_t default_num_shards_ = 1;
 };
 
 }  // namespace pacman::storage

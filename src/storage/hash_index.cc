@@ -32,8 +32,8 @@ void* HashIndex::Lookup(Key key) const {
 }
 
 void HashIndex::ForEach(const std::function<void(Key, void*)>& fn) const {
-  for (const Shard& s : shards_) {
-    for (const auto& [k, v] : s.map) fn(k, v);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    for (const auto& [k, v] : shards_[i].map) fn(k, v);
   }
 }
 

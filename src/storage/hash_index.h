@@ -5,8 +5,10 @@
 #ifndef PACMAN_STORAGE_HASH_INDEX_H_
 #define PACMAN_STORAGE_HASH_INDEX_H_
 
+#include <bit>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -17,9 +19,21 @@ namespace pacman::storage {
 
 class HashIndex {
  public:
-  static constexpr size_t kNumShards = 64;
+  static constexpr uint32_t kNumShards = 64;
 
-  HashIndex() = default;
+  // `num_shards` (a power of two) sets the latch granularity. Callers
+  // that already partition their key space — a sharded Table keeps one
+  // HashIndex per table partition — pass a smaller count so the *total*
+  // map/latch metadata across partitions stays constant; the per-lookup
+  // cache footprint is what a partitioned table would otherwise multiply
+  // by its partition count.
+  explicit HashIndex(uint32_t num_shards = kNumShards)
+      : num_shards_(num_shards),
+        shift_(64 - std::countr_zero(num_shards)),
+        shards_(std::make_unique<Shard[]>(num_shards)) {
+    PACMAN_CHECK_MSG(num_shards >= 1 && std::has_single_bit(num_shards),
+                     "HashIndex shard count must be a power of two");
+  }
   PACMAN_DISALLOW_COPY_AND_MOVE(HashIndex);
 
   // Inserts key -> value; returns false if the key already exists.
@@ -43,12 +57,15 @@ class HashIndex {
     std::unordered_map<Key, void*> map;
   };
 
-  static size_t ShardOf(Key key) {
-    // Multiplicative hash of the key's high-quality bits.
-    return (key * 0x9e3779b97f4a7c15ull) >> 58;  // top 6 bits -> 64 shards.
+  size_t ShardOf(Key key) const {
+    // Multiplicative hash; the top log2(num_shards_) bits pick the shard.
+    if (num_shards_ == 1) return 0;  // shift_ would be 64 (UB).
+    return (key * 0x9e3779b97f4a7c15ull) >> shift_;
   }
 
-  Shard shards_[kNumShards];
+  uint32_t num_shards_;
+  uint32_t shift_;
+  std::unique_ptr<Shard[]> shards_;
   std::atomic<uint64_t> size_{0};
 };
 

@@ -1,41 +1,70 @@
 #include "storage/table.h"
 
+#include <algorithm>
+#include <bit>
+#include <utility>
+
 namespace pacman::storage {
 
+namespace {
+
+// Latch shards per partition hash index. The table partitioning already
+// splits the key space, so the per-partition indexes share the unsharded
+// latch budget (HashIndex::kNumShards in total, floor 8 per partition)
+// instead of multiplying it — N full-width indexes would blow up the
+// bucket-array and map-header footprint N-fold and turn every lookup
+// into a cold-cache miss. num_shards = 1 keeps the full width, so the
+// unsharded layout is bit-identical to the pre-partitioning engine.
+uint32_t LatchShardsPerPartition(uint32_t num_shards) {
+  const uint32_t budget = HashIndex::kNumShards / std::bit_floor(num_shards);
+  return std::max(8u, budget);
+}
+
+}  // namespace
+
 Table::Table(TableId id, std::string name, Schema schema,
-             IndexType index_type)
+             IndexType index_type, uint32_t num_shards)
     : id_(id),
       name_(std::move(name)),
       schema_(std::move(schema)),
-      index_type_(index_type) {
-  if (index_type_ == IndexType::kBPlusTree) {
-    btree_ = std::make_unique<BPlusTree>();
-  } else {
-    hash_ = std::make_unique<HashIndex>();
+      index_type_(index_type),
+      num_parts_(num_shards) {
+  PACMAN_CHECK_MSG(num_shards >= 1, "Table num_shards must be >= 1");
+  parts_ = std::make_unique<Partition[]>(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (index_type_ == IndexType::kBPlusTree) {
+      parts_[s].btree = std::make_unique<BPlusTree>();
+    } else {
+      parts_[s].hash =
+          std::make_unique<HashIndex>(LatchShardsPerPartition(num_shards));
+    }
   }
 }
 
-TupleSlot* Table::IndexLookup(Key key) const {
-  void* p = index_type_ == IndexType::kBPlusTree ? btree_->Lookup(key)
-                                                 : hash_->Lookup(key);
+TupleSlot* Table::IndexLookup(const Partition& part, Key key) const {
+  void* p = index_type_ == IndexType::kBPlusTree ? part.btree->Lookup(key)
+                                                 : part.hash->Lookup(key);
   return static_cast<TupleSlot*>(p);
 }
 
-TupleSlot* Table::GetSlot(Key key) const { return IndexLookup(key); }
+TupleSlot* Table::GetSlot(Key key) const {
+  return IndexLookup(Part(key), key);
+}
 
 TupleSlot* Table::GetOrCreateSlot(Key key) {
-  TupleSlot* slot = IndexLookup(key);
+  Partition& part = Part(key);
+  TupleSlot* slot = IndexLookup(part, key);
   if (slot != nullptr) return slot;
-  SpinLatchGuard g(arena_latch_);
+  SpinLatchGuard g(part.arena_latch);
   // Re-check under the arena latch; another thread may have created it.
-  slot = IndexLookup(key);
+  slot = IndexLookup(part, key);
   if (slot != nullptr) return slot;
-  arena_.emplace_back();
-  slot = &arena_.back();
+  part.arena.emplace_back();
+  slot = &part.arena.back();
   slot->key = key;
   bool inserted = index_type_ == IndexType::kBPlusTree
-                      ? btree_->Insert(key, slot)
-                      : hash_->Insert(key, slot);
+                      ? part.btree->Insert(key, slot)
+                      : part.hash->Insert(key, slot);
   PACMAN_CHECK(inserted);
   return slot;
 }
@@ -107,60 +136,96 @@ void Table::ScanFrom(
     Key from, Timestamp ts,
     const std::function<bool(Key, const Row&)>& callback) const {
   PACMAN_CHECK(index_type_ == IndexType::kBPlusTree);
-  btree_->ScanFrom(from, [&](Key key, void* p) {
-    const auto* slot = static_cast<const TupleSlot*>(p);
-    const Version* v = slot->VisibleAt(ts);
-    if (v == nullptr || v->deleted) return true;  // Skip invisible tuples.
-    return callback(key, v->data);
-  });
+  if (num_parts_ == 1) {
+    parts_[0].btree->ScanFrom(from, [&](Key key, void* p) {
+      const auto* slot = static_cast<const TupleSlot*>(p);
+      const Version* v = slot->VisibleAt(ts);
+      if (v == nullptr || v->deleted) return true;  // Skip invisible tuples.
+      return callback(key, v->data);
+    });
+    return;
+  }
+  // Sharded: each partition's tree is ordered but the shards interleave,
+  // so collect the visible suffix of every shard and merge by key.
+  std::vector<std::pair<Key, const Row*>> rows;
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    parts_[s].btree->ScanFrom(from, [&](Key key, void* p) {
+      const auto* slot = static_cast<const TupleSlot*>(p);
+      const Version* v = slot->VisibleAt(ts);
+      if (v != nullptr && !v->deleted) rows.emplace_back(key, &v->data);
+      return true;
+    });
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, row] : rows) {
+    if (!callback(key, *row)) return;
+  }
 }
 
 void Table::ForEachSlot(const std::function<void(TupleSlot*)>& fn) const {
-  for (const TupleSlot& slot : arena_) {
-    fn(const_cast<TupleSlot*>(&slot));
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    for (const TupleSlot& slot : parts_[s].arena) {
+      fn(const_cast<TupleSlot*>(&slot));
+    }
   }
 }
 
 std::vector<TupleSlot*> Table::SnapshotSlots() const {
-  SpinLatchGuard g(arena_latch_);
   std::vector<TupleSlot*> out;
-  out.reserve(arena_.size());
-  for (const TupleSlot& slot : arena_) {
-    out.push_back(const_cast<TupleSlot*>(&slot));
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    const Partition& part = parts_[s];
+    SpinLatchGuard g(part.arena_latch);
+    out.reserve(out.size() + part.arena.size());
+    for (const TupleSlot& slot : part.arena) {
+      out.push_back(const_cast<TupleSlot*>(&slot));
+    }
   }
   return out;
 }
 
-uint64_t Table::NumKeys() const { return arena_.size(); }
+uint64_t Table::NumKeys() const {
+  uint64_t n = 0;
+  for (uint32_t s = 0; s < num_parts_; ++s) n += parts_[s].arena.size();
+  return n;
+}
 
 uint64_t Table::ContentHash(Timestamp ts) const {
   uint64_t h = 0;
-  for (const TupleSlot& slot : arena_) {
-    const Version* v = slot.VisibleAt(ts);
-    if (v == nullptr || v->deleted) continue;
-    uint64_t kh = slot.key * 0x9e3779b97f4a7c15ull;
-    uint64_t rh = HashRow(v->data);
-    // XOR of per-key mixes: order-independent.
-    h ^= kh ^ (rh + 0x9e3779b97f4a7c15ull + (kh << 6) + (kh >> 2));
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    for (const TupleSlot& slot : parts_[s].arena) {
+      const Version* v = slot.VisibleAt(ts);
+      if (v == nullptr || v->deleted) continue;
+      uint64_t kh = slot.key * 0x9e3779b97f4a7c15ull;
+      uint64_t rh = HashRow(v->data);
+      // XOR of per-key mixes: order-independent, hence also invariant
+      // under how the keys are partitioned across shards.
+      h ^= kh ^ (rh + 0x9e3779b97f4a7c15ull + (kh << 6) + (kh >> 2));
+    }
   }
   return h;
 }
 
 uint64_t Table::VisibleCount(Timestamp ts) const {
   uint64_t n = 0;
-  for (const TupleSlot& slot : arena_) {
-    const Version* v = slot.VisibleAt(ts);
-    if (v != nullptr && !v->deleted) ++n;
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    for (const TupleSlot& slot : parts_[s].arena) {
+      const Version* v = slot.VisibleAt(ts);
+      if (v != nullptr && !v->deleted) ++n;
+    }
   }
   return n;
 }
 
 void Table::Reset() {
-  arena_.clear();
-  if (index_type_ == IndexType::kBPlusTree) {
-    btree_ = std::make_unique<BPlusTree>();
-  } else {
-    hash_ = std::make_unique<HashIndex>();
+  for (uint32_t s = 0; s < num_parts_; ++s) {
+    parts_[s].arena.clear();
+    if (index_type_ == IndexType::kBPlusTree) {
+      parts_[s].btree = std::make_unique<BPlusTree>();
+    } else {
+      parts_[s].hash =
+          std::make_unique<HashIndex>(LatchShardsPerPartition(num_parts_));
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "storage/bplus_tree.h"
 #include "storage/hash_index.h"
+#include "storage/shard.h"
 #include "storage/tuple.h"
 
 namespace pacman::storage {
@@ -24,14 +25,20 @@ enum class IndexType { kBPlusTree, kHash };
 
 class Table {
  public:
+  // `num_shards` > 1 hash-partitions the table: each shard owns its own
+  // index and slot arena, so single-shard transactions never touch (or
+  // contend on) another shard's structures. `num_shards` = 1 is the
+  // unsharded layout, bit-identical to the pre-partitioning engine.
   Table(TableId id, std::string name, Schema schema,
-        IndexType index_type = IndexType::kBPlusTree);
+        IndexType index_type = IndexType::kBPlusTree,
+        uint32_t num_shards = 1);
   PACMAN_DISALLOW_COPY_AND_MOVE(Table);
 
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   IndexType index_type() const { return index_type_; }
+  uint32_t num_shards() const { return num_parts_; }
 
   // --- Slot access ------------------------------------------------------
   // Returns the slot for `key`, or nullptr if the key was never inserted.
@@ -79,7 +86,9 @@ class Table {
 
   // --- Scans -------------------------------------------------------------
   // Ordered scan from `from` (B+tree tables only): visits visible rows at
-  // `ts` until the callback returns false.
+  // `ts` until the callback returns false. On a sharded table the per-shard
+  // trees are merged into one key-ordered pass (materialized; scans are a
+  // cold path — tests and introspection — not the transaction hot path).
   void ScanFrom(Key from, Timestamp ts,
                 const std::function<bool(Key, const Row&)>& callback) const;
 
@@ -110,19 +119,33 @@ class Table {
   void Reset();
 
  private:
-  TupleSlot* IndexLookup(Key key) const;
+  // One shard's worth of table state. Key-routed operations touch exactly
+  // one partition; whole-table operations (scans, hashes, checkpoints)
+  // iterate all of them. Cache-line aligned so two partitions' arena
+  // latches never share a line — adjacent shards are exactly the state
+  // that distinct workers touch concurrently.
+  struct alignas(64) Partition {
+    std::unique_ptr<BPlusTree> btree;
+    std::unique_ptr<HashIndex> hash;
+    // Slot arena. Deque gives pointer stability; creation is latched.
+    mutable SpinLatch arena_latch;
+    std::deque<TupleSlot> arena;
+  };
+
+  Partition& Part(Key key) const {
+    return parts_[ShardOfKey(key, num_parts_)];
+  }
+  TupleSlot* IndexLookup(const Partition& part, Key key) const;
 
   TableId id_;
   std::string name_;
   Schema schema_;
   IndexType index_type_;
 
-  std::unique_ptr<BPlusTree> btree_;
-  std::unique_ptr<HashIndex> hash_;
-
-  // Slot arena. Deque gives pointer stability; creation is latched.
-  mutable SpinLatch arena_latch_;
-  std::deque<TupleSlot> arena_;
+  // Contiguous by-value partitions (one indirection on the per-access
+  // path, vs two through a pointer array).
+  uint32_t num_parts_;
+  std::unique_ptr<Partition[]> parts_;
 };
 
 }  // namespace pacman::storage

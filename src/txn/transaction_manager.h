@@ -129,6 +129,14 @@ class Transaction {
   void set_worker_id(WorkerId id) { worker_id_ = id; }
   WorkerId worker_id() const { return worker_id_; }
 
+  // Compile-time shard classification hint: true when the procedure's
+  // static access summary proves every access of this execution resolves
+  // to one key value (StaticAccessSummary::single_shard_static), hence
+  // one shard. Lets the sharded commit hook skip the dynamic read-set
+  // scan that command logging otherwise needs (replay re-executes reads).
+  void set_static_single_shard(bool v) { static_single_shard_ = v; }
+  bool static_single_shard() const { return static_single_shard_; }
+
  private:
   friend class TransactionManager;
   Timestamp read_ts_ = kInvalidTimestamp;
@@ -138,6 +146,7 @@ class Transaction {
   const std::vector<Value>* params_ = nullptr;
   bool is_adhoc_ = true;
   bool needs_coalesce_ = true;
+  bool static_single_shard_ = false;
   WorkerId worker_id_ = kInvalidWorkerId;
 };
 
