@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of durability-failure degraded mode.
+
+Drives a real ``bank_server`` whose file-backed log device is wrapped in
+the fault-injection layer (``--device faulty:file,fail_fsync=N``): the
+N-th fsync on each device fails *permanently*, modelling a log volume
+dying mid-run. The script checks the whole failure contract end to end:
+
+  1. pumps deposits, fencing each with flush(), until the fence reports
+     the device failure instead of silently acking (no false acks),
+  2. waits for the server's "READONLY reason=..." line — it must degrade,
+     not abort,
+  3. asserts writes now answer READ_ONLY on the wire while the read-only
+     Balance procedure and *new* connections keep serving,
+  4. SIGTERMs the server and requires a clean exit (code 0, not SIGABRT)
+     with the "durability:" summary on stderr,
+  5. restarts over the same --log-dir with a healthy device and verifies
+     the recovered balance holds every fenced deposit (acked work is
+     never lost) and invents none beyond the last answered one.
+
+Usage: fault_smoke.py /path/to/bank_server [--keep]
+Exit code 0 = pass. Registered as the `fault_python_smoke` ctest and run
+in the CI net job.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from pacman_client import PacmanClient, ServerError  # noqa: E402
+
+# The 6th fsync per device fails forever: the setup checkpoint plus a
+# couple of group-commit flushes survive, then the volume dies.
+FAULTY_SPEC = "faulty:file,fail_fsync=6"
+STATUS_READ_ONLY = 9
+
+
+class ServerProc:
+    """bank_server with a stdout reader thread (LISTENING once at
+    startup, READONLY possibly later, mid-traffic)."""
+
+    def __init__(self, binary, log_dir, device):
+        self.proc = subprocess.Popen(
+            [binary, "--port", "0", "--device", device,
+             "--log-dir", log_dir, "--threads", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        self.lines = []
+        self.lock = threading.Lock()
+        self.reader = threading.Thread(target=self._read, daemon=True)
+        self.reader.start()
+        self.port = self._wait_line("LISTENING", 60)
+
+    def _read(self):
+        for line in self.proc.stdout:
+            with self.lock:
+                self.lines.append(line.rstrip("\n"))
+
+    def _wait_line(self, prefix, timeout):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            with self.lock:
+                for line in self.lines:
+                    if line.startswith(prefix):
+                        if prefix == "LISTENING":
+                            return int(line.split("port=")[1])
+                        return line
+            if self.proc.poll() is not None:
+                raise RuntimeError("server exited: %s" %
+                                   self.proc.stderr.read())
+            time.sleep(0.05)
+        raise RuntimeError("server did not print %s" % prefix)
+
+    def wait_readonly(self, timeout=30):
+        return self._wait_line("READONLY", timeout)
+
+    def terminate(self):
+        self.proc.terminate()
+        self.proc.wait(timeout=30)
+        self.reader.join(timeout=10)
+        return self.proc.returncode, self.proc.stderr.read()
+
+
+def expect(cond, what):
+    if not cond:
+        raise AssertionError("FAILED: " + what)
+    print("ok:", what)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+    log_dir = tempfile.mkdtemp(prefix="pacman-fault-smoke-")
+    keep = "--keep" in sys.argv[2:]
+    server = None
+    try:
+        server = ServerProc(binary, log_dir, FAULTY_SPEC)
+        print("server pid=%d port=%d log_dir=%s"
+              % (server.proc.pid, server.port, log_dir))
+
+        fenced = None  # Balance after the last flush the server acked.
+        last_answered = None  # Balance after the last answered deposit.
+        with PacmanClient("127.0.0.1", server.port) as c:
+            deposit = c.get_proc("Deposit")
+            balance = c.get_proc("Balance")
+
+            # Deposit +1 at a time, fencing each. The fence must report
+            # the device death, never silently ack over it.
+            failed = False
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                r = c.call(deposit, [5, 1.0, 2])
+                assert r.ok, r
+                last_answered = r.values[0]
+                try:
+                    c.flush()
+                    fenced = last_answered
+                except ServerError as e:
+                    print("flush failed as injected: %s" % e)
+                    failed = True
+                    break
+            expect(failed, "durability fence surfaced the device failure")
+            expect(fenced is not None, "at least one deposit was fenced")
+
+            line = server.wait_readonly()
+            print(line)
+            expect("reason=" in line, "READONLY line names a reason")
+
+            # Degraded: writes answer READ_ONLY before execution, reads
+            # keep serving on the same connection.
+            r = c.call(deposit, [5, 1.0, 2])
+            expect(not r.ok and r.status == STATUS_READ_ONLY,
+                   "deposit rejected with READ_ONLY (got %s)" % r.status_name)
+            r = c.call(balance, [5])
+            expect(r.ok and len(r.values) == 2,
+                   "Balance keeps serving in degraded mode")
+
+        # The listener survives too: a fresh connection works.
+        with PacmanClient("127.0.0.1", server.port) as c2:
+            balance = c2.get_proc("Balance")
+            r = c2.call(balance, [5])
+            expect(r.ok, "new connections accepted while degraded")
+
+        code, err = server.terminate()
+        server = None
+        expect(code == 0, "degraded server exits cleanly (code %r)" % code)
+        expect("durability:" in err and "READ-ONLY" in err,
+               "shutdown summary reports the degraded state")
+
+        # Restart over the same log dir with a healthy device: every
+        # fenced deposit must be back; nothing past the last answered
+        # one may appear.
+        server = ServerProc(binary, log_dir, "file")
+        print("server restarted on port %d" % server.port)
+        with PacmanClient("127.0.0.1", server.port) as c:
+            balance = c.get_proc("Balance")
+            r = c.call(balance, [5])
+            expect(r.ok, "post-recovery Balance committed")
+            recovered = r.values[0]
+            expect(recovered >= fenced - 1e-9,
+                   "no fenced deposit lost (recovered %r >= fenced %r)"
+                   % (recovered, fenced))
+            expect(recovered <= last_answered + 1e-9,
+                   "no unanswered deposit invented (recovered %r <= last %r)"
+                   % (recovered, last_answered))
+
+        code, _err = server.terminate()
+        server = None
+        expect(code == 0, "recovered server exits cleanly")
+        print("PASS")
+        return 0
+    finally:
+        if server is not None and server.proc.poll() is None:
+            server.proc.kill()
+            server.proc.wait()
+        if keep:
+            print("kept", log_dir)
+        else:
+            shutil.rmtree(log_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,7 @@ STATUS_NAMES = {
     6: "INTERNAL",
     7: "OVERLOADED",
     8: "UNAVAILABLE",
+    9: "READ_ONLY",
 }
 
 VALUE_NULL, VALUE_INT64, VALUE_DOUBLE, VALUE_STRING = 0, 1, 2, 3

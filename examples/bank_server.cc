@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     // (the checkpoint and log carry the data).
     bank.CreateTables(db.catalog());
     bank.RegisterProcedures(db.registry());
+    bank.RegisterBalance(db.registry());
     db.FinalizeSchema();
     recovery::RecoveryOptions ropts;
     ropts.num_threads = flags.threads;
@@ -81,6 +82,9 @@ int main(int argc, char** argv) {
                  r.TotalSeconds());
   } else {
     bank.Install(&db);
+    // Balance(user) is read-only, so clients can keep polling it even
+    // after a log-device failure drops the database to read-only mode.
+    bank.RegisterBalance(db.registry());
     db.FinalizeSchema();
     db.TakeCheckpoint();
   }
@@ -101,7 +105,17 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  // The main loop doubles as the degraded-mode watchdog: when a permanent
+  // log-device failure drops the database to read-only, print exactly one
+  // "READONLY reason=…" line (stdout, flushed — CI and launchers tail the
+  // pipe for it, the same contract as LISTENING) and keep serving reads.
+  bool announced_read_only = false;
   while (g_stop == 0) {
+    if (!announced_read_only && db.read_only()) {
+      announced_read_only = true;
+      std::printf("READONLY reason=%s\n", db.read_only_reason().c_str());
+      std::fflush(stdout);
+    }
     struct timespec ts = {0, 200 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
@@ -124,6 +138,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.checkpoint_failures),
                  static_cast<unsigned long long>(stats.log_batches_deleted),
                  static_cast<unsigned long long>(stats.log_bytes_deleted));
+  }
+  if (stats.io_retries > 0 || stats.io_failures > 0 || stats.read_only) {
+    std::fprintf(stderr, "durability: %llu IO retries, %llu IO failures%s%s\n",
+                 static_cast<unsigned long long>(stats.io_retries),
+                 static_cast<unsigned long long>(stats.io_failures),
+                 stats.read_only ? ", READ-ONLY: " : "",
+                 stats.read_only ? stats.read_only_reason.c_str() : "");
   }
   return 0;
 }

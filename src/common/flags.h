@@ -9,9 +9,13 @@
 //   --txns N          transaction count (>= 1)
 //   --seed N          workload RNG seed
 //   --adhoc F         fraction of transactions tagged ad-hoc, in [0, 1]
-//   --device sim|file durable backend: simulated SSDs (virtual-time
-//                     costs) or a real directory (survives process kill)
-//   --log-dir PATH    root directory for --device file
+//   --device sim|file|faulty:SPEC
+//                     durable backend: simulated SSDs (virtual-time
+//                     costs), a real directory (survives process kill),
+//                     or either wrapped in the fault-injection decorator
+//                     (device/fault_injecting_device.h), e.g.
+//                     --device faulty:file,fail_write=40,heal=2
+//   --log-dir PATH    root directory for --device file (and faulty:file)
 //   --json PATH       benches only: also write the run's results as a
 //                     machine-readable JSON report to PATH (bench/harness.h
 //                     RecordJson/WriteJsonReport; ignored by the examples)
@@ -44,8 +48,8 @@ struct CommonFlags {
   uint64_t txns = 0;  // 0 = "use the binary's default".
   uint64_t seed = 42;
   double adhoc = 0.0;
-  std::string device = "sim";  // "sim" or "file".
-  std::string log_dir;         // Required when device == "file".
+  std::string device = "sim";  // "sim", "file" or "faulty:<spec>".
+  std::string log_dir;         // Required when the file backend is used.
   std::string json;            // Benches: JSON report path ("" = off).
   // Network binaries (net server / load generator); ignored elsewhere.
   std::string host = "127.0.0.1";
@@ -55,15 +59,25 @@ struct CommonFlags {
   double checkpoint_secs = 0.0;
   uint64_t checkpoint_mb = 0;
 
-  bool use_file_device() const { return device == "file"; }
+  bool use_file_device() const {
+    // "faulty:file,..." wraps the file backend, so it needs --log-dir too.
+    return device == "file" || device.rfind("faulty:file", 0) == 0;
+  }
+  bool use_faulty_device() const { return device.rfind("faulty:", 0) == 0; }
+  // The "<inner>[,key=value]*" payload of a faulty device spec.
+  std::string faulty_spec() const {
+    return use_faulty_device() ? device.substr(sizeof("faulty:") - 1)
+                               : std::string();
+  }
 };
 
 namespace flags_internal {
 
 inline const char kSupported[] =
     "supported flags: --threads N  --shards N  --txns N  --seed N  --adhoc F  "
-    "--device sim|file  --log-dir PATH  --json PATH  --host ADDR  "
-    "--port N  --connections N  --checkpoint-secs S  --checkpoint-mb N\n";
+    "--device sim|file|faulty:SPEC  --log-dir PATH  --json PATH  "
+    "--host ADDR  --port N  --connections N  --checkpoint-secs S  "
+    "--checkpoint-mb N\n";
 
 [[noreturn]] inline void Usage(const char* flag, const char* want,
                                const char* got) {
@@ -150,9 +164,14 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv,
     } else if (std::strcmp(arg, "--adhoc") == 0) {
       flags.adhoc = flags_internal::ParseFraction(arg, next);
     } else if (std::strcmp(arg, "--device") == 0) {
+      // The faulty spec's key=value grammar is validated by ParseFaultSpec
+      // at ApplyDeviceFlags time (flags.h cannot depend on the device
+      // layer); here only the backend name is gated.
       if (next == nullptr || (std::strcmp(next, "sim") != 0 &&
-                              std::strcmp(next, "file") != 0)) {
-        flags_internal::Usage(arg, "\"sim\" or \"file\"", next);
+                              std::strcmp(next, "file") != 0 &&
+                              std::strncmp(next, "faulty:", 7) != 0)) {
+        flags_internal::Usage(arg, "\"sim\", \"file\" or \"faulty:<spec>\"",
+                              next);
       }
       flags.device = next;
     } else if (std::strcmp(arg, "--log-dir") == 0) {

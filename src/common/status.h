@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kOverloaded,     // Bounded queue / buffer at capacity (backpressure).
   kUnavailable,    // No executor service (crashed or not started).
+  kReadOnly,       // Database degraded to read-only (durable path failed).
 };
 
 // Value-semantic status; cheap to copy in the OK case.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Unavailable(std::string m = "unavailable") {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status ReadOnly(std::string m = "database is read-only (degraded)") {
+    return Status(StatusCode::kReadOnly, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -38,14 +38,27 @@ bool WriteFully(int fd, const uint8_t* data, size_t n) {
   return true;
 }
 
+// Every IO failure names the operation, the path, and the errno text, so
+// an operator can tell a full disk from a yanked mount from the log line
+// alone.
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal("FileDevice: " + what + ": " + path + ": " +
+                          std::strerror(errno));
+}
+
 // fsync the directory itself so renames/creations are durable. An fsync
 // error means the medium can no longer honor the durability contract —
-// failing loudly beats publishing a watermark over lost bytes.
-void FsyncDir(const std::string& dir) {
+// the caller must treat the preceding writes as not durable.
+Status FsyncDir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  PACMAN_CHECK_MSG(fd >= 0, "FileDevice: cannot open directory for fsync");
-  PACMAN_CHECK_MSG(::fsync(fd) == 0, "FileDevice: directory fsync failed");
+  if (fd < 0) return IoError("cannot open directory for fsync", dir);
+  if (::fsync(fd) != 0) {
+    const Status s = IoError("directory fsync failed", dir);
+    ::close(fd);
+    return s;
+  }
   ::close(fd);
+  return Status::Ok();
 }
 
 }  // namespace
@@ -69,38 +82,61 @@ std::string FileDevice::PathFor(const std::string& name) const {
   return config_.dir + "/" + name;
 }
 
-double FileDevice::WriteFile(const std::string& name,
-                             std::vector<uint8_t> bytes) {
+IoResult FileDevice::WriteFile(const std::string& name,
+                               std::vector<uint8_t> bytes) {
   const double t0 = Now();
   const std::string path = PathFor(name);
   const std::string tmp = path + kTmpSuffix;
   // Atomic replace: write + fsync a temporary, then rename over the
   // target, then fsync the directory. A kill at any point leaves either
-  // the old object or the new one, never a torn mix.
+  // the old object or the new one, never a torn mix. Any step failing
+  // means the new object is not durable; the caller decides whether to
+  // retry or degrade.
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  PACMAN_CHECK_MSG(fd >= 0, "FileDevice: cannot create temporary file");
-  PACMAN_CHECK_MSG(WriteFully(fd, bytes.data(), bytes.size()),
-                   "FileDevice: short write");
-  PACMAN_CHECK_MSG(::fsync(fd) == 0, "FileDevice: fsync failed");
+  if (fd < 0) {
+    return IoResult{IoError("cannot create temporary file", tmp), Now() - t0};
+  }
+  if (!WriteFully(fd, bytes.data(), bytes.size())) {
+    const Status s = IoError("short write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoResult{s, Now() - t0};
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = IoError("fsync failed", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoResult{s, Now() - t0};
+  }
   ::close(fd);
-  PACMAN_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
-                   "FileDevice: rename failed");
-  FsyncDir(config_.dir);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = IoError("rename failed", path);
+    ::unlink(tmp.c_str());
+    return IoResult{s, Now() - t0};
+  }
+  if (Status s = FsyncDir(config_.dir); !s.ok()) {
+    return IoResult{std::move(s), Now() - t0};
+  }
   const double secs = Now() - t0;
   CountBytesWritten(bytes.size());
   CountFsync();  // The embedded fsync; its wall time counts as write time.
   RecordWrite(bytes.size(), secs);
-  return secs;
+  return IoResult::Ok(secs);
 }
 
-double FileDevice::AppendFile(const std::string& name,
-                              const std::vector<uint8_t>& bytes) {
+IoResult FileDevice::AppendFile(const std::string& name,
+                                const std::vector<uint8_t>& bytes) {
   const double t0 = Now();
-  const int fd =
-      ::open(PathFor(name).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  PACMAN_CHECK_MSG(fd >= 0, "FileDevice: cannot open file for append");
-  PACMAN_CHECK_MSG(WriteFully(fd, bytes.data(), bytes.size()),
-                   "FileDevice: short append");
+  const std::string path = PathFor(name);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return IoResult{IoError("cannot open file for append", path), Now() - t0};
+  }
+  if (!WriteFully(fd, bytes.data(), bytes.size())) {
+    const Status s = IoError("short append", path);
+    ::close(fd);
+    return IoResult{s, Now() - t0};
+  }
   ::close(fd);
   {
     std::lock_guard<std::mutex> g(dirty_mu_);
@@ -112,7 +148,7 @@ double FileDevice::AppendFile(const std::string& name,
   const double secs = Now() - t0;
   CountBytesWritten(bytes.size());
   RecordWrite(bytes.size(), secs);
-  return secs;
+  return IoResult::Ok(secs);
 }
 
 Status FileDevice::ReadFile(const std::string& name,
@@ -133,9 +169,12 @@ Status FileDevice::ReadFile(const std::string& name,
   for (;;) {
     const ssize_t r = ::read(fd, buf, sizeof(buf));
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // Interrupted mid-read: not a failure.
+      const Status s = Status::Corruption(
+          "read failed: " + name + " at offset " +
+          std::to_string(out->size()) + ": " + std::strerror(errno));
       ::close(fd);
-      return Status::Corruption("read failed: " + name);
+      return s;
     }
     if (r == 0) break;
     out->insert(out->end(), buf, buf + r);
@@ -175,16 +214,18 @@ void FileDevice::RemoveAll() {
     std::error_code rm_ec;
     fs::remove(entry.path(), rm_ec);
   }
-  FsyncDir(config_.dir);
+  // Best-effort: RemoveAll is a test/bench reset, not a durable-path op.
+  (void)FsyncDir(config_.dir);
 }
 
-double FileDevice::RemoveFile(const std::string& name) {
+IoResult FileDevice::RemoveFile(const std::string& name) {
   const double t0 = Now();
-  if (::unlink(PathFor(name).c_str()) != 0) {
+  const std::string path = PathFor(name);
+  if (::unlink(path.c_str()) != 0) {
     // Absent is fine (GC retried across a restart); anything else means
     // the medium is broken and a "truncated" file could resurrect.
-    PACMAN_CHECK_MSG(errno == ENOENT, "FileDevice: unlink failed");
-    return 0.0;
+    if (errno == ENOENT) return IoResult::Ok(0.0);
+    return IoResult{IoError("unlink failed", path), Now() - t0};
   }
   {
     // Drop any pending-fsync record; the barrier tolerates missing files
@@ -193,10 +234,12 @@ double FileDevice::RemoveFile(const std::string& name) {
     auto it = std::find(dirty_appends_.begin(), dirty_appends_.end(), name);
     if (it != dirty_appends_.end()) dirty_appends_.erase(it);
   }
-  FsyncDir(config_.dir);
+  if (Status s = FsyncDir(config_.dir); !s.ok()) {
+    return IoResult{std::move(s), Now() - t0};
+  }
   const double secs = Now() - t0;
   RecordFsync(secs);
-  return secs;
+  return IoResult::Ok(secs);
 }
 
 size_t FileDevice::FileSize(const std::string& name) const {
@@ -205,7 +248,7 @@ size_t FileDevice::FileSize(const std::string& name) const {
   return ec ? 0 : static_cast<size_t>(size);
 }
 
-double FileDevice::SyncBarrier() {
+IoResult FileDevice::SyncBarrier() {
   const double t0 = Now();
   // Appended data is only durable once its file is fsynced; WriteFile
   // already fsyncs inline, so the barrier owes exactly the append set.
@@ -214,17 +257,29 @@ double FileDevice::SyncBarrier() {
     std::lock_guard<std::mutex> g(dirty_mu_);
     dirty.swap(dirty_appends_);
   }
-  for (const std::string& name : dirty) {
-    const int fd = ::open(PathFor(name).c_str(), O_RDONLY);
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    const std::string path = PathFor(dirty[i]);
+    const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) continue;  // Removed/renamed since the append.
-    PACMAN_CHECK_MSG(::fsync(fd) == 0, "FileDevice: fsync failed");
+    if (::fsync(fd) != 0) {
+      const Status s = IoError("fsync failed", path);
+      ::close(fd);
+      // The un-fsynced remainder (this file included) stays owed to the
+      // next barrier; a retry must not skip it.
+      std::lock_guard<std::mutex> g(dirty_mu_);
+      dirty_appends_.insert(dirty_appends_.end(), dirty.begin() + i,
+                            dirty.end());
+      return IoResult{s, Now() - t0};
+    }
     ::close(fd);
   }
-  FsyncDir(config_.dir);
+  if (Status s = FsyncDir(config_.dir); !s.ok()) {
+    return IoResult{std::move(s), Now() - t0};
+  }
   const double secs = Now() - t0;
   CountFsync();
   RecordFsync(secs);
-  return secs;
+  return IoResult::Ok(secs);
 }
 
 double FileDevice::WriteSeconds(size_t bytes) const {

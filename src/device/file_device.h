@@ -43,18 +43,18 @@ class FileDevice final : public StorageDevice {
   explicit FileDevice(FileDeviceConfig config);
 
   // --- Durable object store -------------------------------------------
-  double WriteFile(const std::string& name,
-                   std::vector<uint8_t> bytes) override;
-  double AppendFile(const std::string& name,
-                    const std::vector<uint8_t>& bytes) override;
+  IoResult WriteFile(const std::string& name,
+                     std::vector<uint8_t> bytes) override;
+  IoResult AppendFile(const std::string& name,
+                      const std::vector<uint8_t>& bytes) override;
   Status ReadFile(const std::string& name,
                   std::vector<uint8_t>* out) const override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   void RemoveAll() override;
-  double RemoveFile(const std::string& name) override;
+  IoResult RemoveFile(const std::string& name) override;
   size_t FileSize(const std::string& name) const override;
-  double SyncBarrier() override;
+  IoResult SyncBarrier() override;
   bool IsPersistent() const override { return true; }
 
   // --- Measured wall-clock cost surface --------------------------------

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The PACMAN reproduction authors.
+// Bounded retry with exponential backoff + jitter for durable IO.
+//
+// The same shape as the OCC abort backoff (pacman/database.cc), but for
+// device operations: failures here are milliseconds-scale transients
+// (EINTR-adjacent hiccups, a briefly saturated device), so attempts sleep
+// instead of spinning. A caller that exhausts the budget treats the error
+// as permanent and escalates — for the log path that means degrading the
+// database to read-only rather than aborting the process.
+#ifndef PACMAN_DEVICE_IO_RETRY_H_
+#define PACMAN_DEVICE_IO_RETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "device/storage_device.h"
+
+namespace pacman::device {
+
+struct IoRetryPolicy {
+  // Total attempts (first try included). 1 = no retry.
+  int max_attempts = 4;
+  // Sleep before retry k (1-based) is base * 2^(k-1), jittered to
+  // [0.5x, 1.5x), capped at max_delay.
+  double base_delay_s = 0.0005;
+  double max_delay_s = 0.02;
+};
+
+// Runs `op` until it succeeds or the attempt budget is spent. Returns the
+// last IoResult with `seconds` accumulated over every attempt (failed
+// tries burned real device time too). Each retry is counted into
+// `*retries` (when non-null) so the caller can surface a transient-fault
+// rate to operators.
+template <typename Op>
+IoResult RetryIo(const IoRetryPolicy& policy, std::atomic<uint64_t>* retries,
+                 Op&& op) {
+  // Per-thread xorshift64* jitter state (same generator as the OCC
+  // backoff): desynchronizes threads retrying against one sick device.
+  thread_local uint64_t jitter_state =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  double total_seconds = 0.0;
+  IoResult r;
+  for (int attempt = 1;; ++attempt) {
+    r = op();
+    total_seconds += r.seconds;
+    if (r.ok() || attempt >= policy.max_attempts) break;
+    if (retries != nullptr) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+    }
+    jitter_state ^= jitter_state >> 12;
+    jitter_state ^= jitter_state << 25;
+    jitter_state ^= jitter_state >> 27;
+    const uint64_t rnd = jitter_state * 0x2545f4914f6cdd1dull;
+    double delay = policy.base_delay_s;
+    for (int i = 1; i < attempt; ++i) delay *= 2.0;
+    if (delay > policy.max_delay_s) delay = policy.max_delay_s;
+    // Jitter to [0.5x, 1.5x).
+    delay *= 0.5 + static_cast<double>(rnd >> 11) / (1ull << 53);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  r.seconds = total_seconds;
+  return r;
+}
+
+}  // namespace pacman::device
+
+#endif  // PACMAN_DEVICE_IO_RETRY_H_

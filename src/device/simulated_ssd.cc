@@ -13,18 +13,18 @@ SimulatedSsd::SimulatedSsd(SsdConfig config) : config_(config) {
                    "SsdConfig::fsync_latency_s must be non-negative");
 }
 
-double SimulatedSsd::WriteFile(const std::string& name,
-                               std::vector<uint8_t> bytes) {
+IoResult SimulatedSsd::WriteFile(const std::string& name,
+                                 std::vector<uint8_t> bytes) {
   const double cost = WriteSeconds(bytes.size());
   CountBytesWritten(bytes.size());
   auto buf = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
   std::lock_guard<std::mutex> g(mu_);
   files_[name] = std::move(buf);  // Readers of the old buffer keep it.
-  return cost;
+  return IoResult::Ok(cost);
 }
 
-double SimulatedSsd::AppendFile(const std::string& name,
-                                const std::vector<uint8_t>& bytes) {
+IoResult SimulatedSsd::AppendFile(const std::string& name,
+                                  const std::vector<uint8_t>& bytes) {
   const double cost = WriteSeconds(bytes.size());
   CountBytesWritten(bytes.size());
   std::lock_guard<std::mutex> g(mu_);
@@ -34,7 +34,7 @@ double SimulatedSsd::AppendFile(const std::string& name,
                               : std::make_shared<std::vector<uint8_t>>(*slot);
   next->insert(next->end(), bytes.begin(), bytes.end());
   slot = std::move(next);
-  return cost;
+  return IoResult::Ok(cost);
 }
 
 Status SimulatedSsd::ReadFile(const std::string& name,
@@ -77,10 +77,10 @@ void SimulatedSsd::RemoveAll() {
   files_.clear();
 }
 
-double SimulatedSsd::RemoveFile(const std::string& name) {
+IoResult SimulatedSsd::RemoveFile(const std::string& name) {
   std::lock_guard<std::mutex> g(mu_);
   files_.erase(name);  // Outstanding shared readers keep their buffer.
-  return FsyncSeconds();
+  return IoResult::Ok(FsyncSeconds());
 }
 
 size_t SimulatedSsd::FileSize(const std::string& name) const {
@@ -89,9 +89,9 @@ size_t SimulatedSsd::FileSize(const std::string& name) const {
   return it == files_.end() ? 0 : it->second->size();
 }
 
-double SimulatedSsd::SyncBarrier() {
+IoResult SimulatedSsd::SyncBarrier() {
   CountFsync();
-  return FsyncSeconds();
+  return IoResult::Ok(FsyncSeconds());
 }
 
 }  // namespace pacman::device

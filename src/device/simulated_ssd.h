@@ -40,10 +40,10 @@ class SimulatedSsd final : public StorageDevice {
   explicit SimulatedSsd(SsdConfig config = SsdConfig::PaperSsd());
 
   // --- Durable object store -------------------------------------------
-  double WriteFile(const std::string& name,
-                   std::vector<uint8_t> bytes) override;
-  double AppendFile(const std::string& name,
-                    const std::vector<uint8_t>& bytes) override;
+  IoResult WriteFile(const std::string& name,
+                     std::vector<uint8_t> bytes) override;
+  IoResult AppendFile(const std::string& name,
+                      const std::vector<uint8_t>& bytes) override;
   Status ReadFile(const std::string& name,
                   std::vector<uint8_t>* out) const override;
   // Zero-copy: hands out the stored buffer itself. WriteFile/AppendFile
@@ -55,9 +55,9 @@ class SimulatedSsd final : public StorageDevice {
   bool Exists(const std::string& name) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   void RemoveAll() override;
-  double RemoveFile(const std::string& name) override;
+  IoResult RemoveFile(const std::string& name) override;
   size_t FileSize(const std::string& name) const override;
-  double SyncBarrier() override;
+  IoResult SyncBarrier() override;
   // Nothing actually survives the process; the loggers keep their
   // buffer-until-batch-close behavior and purely modeled flush costs.
   bool IsPersistent() const override { return false; }

@@ -32,6 +32,19 @@
 
 namespace pacman::device {
 
+// Outcome of a mutating device operation: whether the bytes landed, plus
+// the device-time cost of the attempt (modeled virtual seconds for
+// simulated backends, measured wall-clock for real ones). Failed attempts
+// still report the time they burned. [[nodiscard]] so no durable-path
+// caller can silently drop an IO failure.
+struct [[nodiscard]] IoResult {
+  Status status;
+  double seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+  static IoResult Ok(double seconds) { return IoResult{Status::Ok(), seconds}; }
+};
+
 class StorageDevice {
  public:
   StorageDevice() = default;
@@ -39,20 +52,22 @@ class StorageDevice {
   PACMAN_DISALLOW_COPY_AND_MOVE(StorageDevice);
 
   // --- Durable object store -------------------------------------------
-  // All operations return the device-time cost of the operation in
-  // seconds: modeled virtual time for simulated backends, measured
-  // wall-clock time for real ones. Callers that only care about the state
-  // change may ignore the return value.
+  // All mutating operations return an IoResult carrying both the outcome
+  // and the device-time cost of the attempt. The result is [[nodiscard]]:
+  // a caller on the durable path must check `status` (a dropped failure
+  // here is exactly how acknowledged commits get lost).
 
   // Replaces `name` with `bytes`. Real backends make this atomic (write to
   // a temporary file, fsync, rename) and durable before returning.
-  virtual double WriteFile(const std::string& name,
-                           std::vector<uint8_t> bytes) = 0;
+  virtual IoResult WriteFile(const std::string& name,
+                             std::vector<uint8_t> bytes) = 0;
   // Appends `bytes` to `name`, creating it if absent. Durability is
   // deferred to the next SyncBarrier().
-  virtual double AppendFile(const std::string& name,
-                            const std::vector<uint8_t>& bytes) = 0;
-  // Reads the whole object into `*out`; kNotFound if absent.
+  virtual IoResult AppendFile(const std::string& name,
+                              const std::vector<uint8_t>& bytes) = 0;
+  // Reads the whole object into `*out`; kNotFound if absent. Any other
+  // failure — including a short read — is a loud kCorruption naming the
+  // file and byte offset, never a silently truncated buffer.
   virtual Status ReadFile(const std::string& name,
                           std::vector<uint8_t>* out) const = 0;
   // Bulk read surface for loaders that only need an immutable view of the
@@ -82,13 +97,13 @@ class StorageDevice {
   // backends make the removal durable before returning (unlink + fsync of
   // the directory), so a batch file deleted by garbage collection never
   // resurrects after a crash.
-  virtual double RemoveFile(const std::string& name) = 0;
+  virtual IoResult RemoveFile(const std::string& name) = 0;
   // Size in bytes, or 0 when absent.
   virtual size_t FileSize(const std::string& name) const = 0;
 
-  // Durability barrier (the group-commit fsync point): when it returns,
-  // every preceding write on this device is durable. Counts one fsync.
-  virtual double SyncBarrier() = 0;
+  // Durability barrier (the group-commit fsync point): when it returns
+  // OK, every preceding write on this device is durable. Counts one fsync.
+  virtual IoResult SyncBarrier() = 0;
 
   // True when the backend is a real durable medium: the loggers must then
   // persist the in-progress batch image at every group commit instead of

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/serializer.h"
+#include "device/io_retry.h"
 #include "storage/shard.h"
 
 namespace pacman::logging {
@@ -151,11 +152,27 @@ Status Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
       std::vector<uint8_t> bytes = stripes[d * files_per_ssd + f].Release();
       stripe_bytes[d * files_per_ssd + f] = bytes.size();
       meta.total_bytes += bytes.size();
-      devices_[d]->WriteFile(StripeFileName(id, d, f), std::move(bytes));
+      const std::string name = StripeFileName(id, d, f);
+      device::IoResult w =
+          device::RetryIo(device::IoRetryPolicy{}, nullptr, [&] {
+            return devices_[d]->WriteFile(name, bytes);
+          });
+      if (!w.ok()) {
+        return Status(w.status.code(), "checkpoint stripe write of " + name +
+                                           " failed: " + w.status.message());
+      }
     }
   }
   // Stripes must be durable before the meta commits the checkpoint.
-  for (uint32_t d = 0; d < num_ssds; ++d) devices_[d]->SyncBarrier();
+  for (uint32_t d = 0; d < num_ssds; ++d) {
+    device::IoResult b = device::RetryIo(device::IoRetryPolicy{}, nullptr,
+                                         [&] { return devices_[d]->SyncBarrier(); });
+    if (!b.ok()) {
+      return Status(b.status.code(),
+                    "checkpoint barrier on device " + std::to_string(d) +
+                        " failed: " + b.status.message());
+    }
+  }
   // Verify the stripes actually landed: a device that acknowledged a
   // write it did not keep must fail the checkpoint here, not surface as a
   // truncated log with no covering snapshot.
@@ -177,7 +194,15 @@ Status Checkpointer::TakeCheckpoint(uint64_t id, Timestamp ts,
   ms.PutU32(meta.num_ssds);
   ms.PutU64(meta.total_bytes);
   ms.PutU64(Fnv1a(ms.data().data(), ms.size()));
-  devices_[0]->WriteFile(MetaFileName(id), ms.Release());
+  const std::vector<uint8_t> meta_bytes = ms.Release();
+  device::IoResult mw = device::RetryIo(device::IoRetryPolicy{}, nullptr, [&] {
+    return devices_[0]->WriteFile(MetaFileName(id), meta_bytes);
+  });
+  if (!mw.ok()) {
+    return Status(mw.status.code(), "checkpoint meta write of " +
+                                        MetaFileName(id) +
+                                        " failed: " + mw.status.message());
+  }
   // Read the commit record back: only a meta that will validate at
   // recovery makes this checkpoint usable (and its log prefix deletable).
   CheckpointMeta readback;

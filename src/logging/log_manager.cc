@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <iterator>
 
+#include "device/io_retry.h"
 #include "storage/shard.h"
 
 namespace pacman::logging {
 
+namespace {
+
+// Log-path retry budget: a handful of quick attempts. Group commit holds
+// back every committer, so the total worst-case stall stays in the tens
+// of milliseconds; anything the budget cannot absorb is treated as a
+// permanent device failure and escalated.
+constexpr device::IoRetryPolicy kLogRetryPolicy{};
+
+}  // namespace
+
 Logger::Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
                uint32_t epochs_per_batch, uint64_t start_seq,
-               CloseCallback on_close)
+               CloseCallback on_close, std::atomic<uint64_t>* io_retries)
     : id_(id), scheme_(scheme), device_(device),
       epochs_per_batch_(epochs_per_batch), on_close_(std::move(on_close)),
-      batch_seq_(start_seq) {
+      io_retries_(io_retries), batch_seq_(start_seq) {
   current_.logger_id = id_;
   current_.seq = batch_seq_;
 }
@@ -50,32 +61,61 @@ FlushCost Logger::FlushEpoch(Epoch epoch) {
   if (device_->IsPersistent()) {
     // Group commit against a real medium: atomically rewrite the
     // in-progress batch image and barrier, so a process killed after this
-    // flush loses nothing. The cost is the measured wall time.
+    // flush loses nothing. The cost is the measured wall time. A failure
+    // at either step leaves the unflushed counters intact: the records
+    // stay owed to the next flush (which re-stamps them), and the caller
+    // must not acknowledge this epoch.
     double seconds = 0.0;
     if (unflushed_bytes_ > 0) {
-      seconds += device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
-                                    LogStore::SerializeBatch(scheme_, current_));
-      image_dirty_ = false;
+      device::IoResult w = device::RetryIo(kLogRetryPolicy, io_retries_, [&] {
+        return device_->WriteFile(
+            LogStore::BatchFileName(id_, current_.seq),
+            LogStore::SerializeBatch(scheme_, current_));
+      });
+      seconds += w.seconds;
+      if (!w.ok()) {
+        cost.bytes = 0;
+        cost.seconds = seconds;
+        cost.status = std::move(w.status);
+        return cost;
+      }
     }
-    seconds += device_->SyncBarrier();
+    device::IoResult b = device::RetryIo(kLogRetryPolicy, io_retries_,
+                                         [&] { return device_->SyncBarrier(); });
+    seconds += b.seconds;
+    if (!b.ok()) {
+      // The image write may have landed but is not provably durable;
+      // leave image_dirty_ set so the next flush/close rewrites it.
+      cost.bytes = 0;
+      cost.seconds = seconds;
+      cost.status = std::move(b.status);
+      return cost;
+    }
+    if (unflushed_bytes_ > 0) image_dirty_ = false;
     cost.seconds = seconds;
   } else {
     // Simulated medium: the batch stays buffered until it closes; the
     // group-commit cost is the modeled write + fsync virtual time.
     cost.seconds =
         device_->WriteSeconds(unflushed_bytes_) + device_->FsyncSeconds();
-    device_->SyncBarrier();
+    device::IoResult b = device::RetryIo(kLogRetryPolicy, io_retries_,
+                                         [&] { return device_->SyncBarrier(); });
+    if (!b.ok()) {
+      cost.bytes = 0;
+      cost.status = std::move(b.status);
+      return cost;
+    }
   }
   bytes_logged_ += unflushed_bytes_;
   unflushed_bytes_ = 0;
   unflushed_records_ = 0;
   if (++epochs_in_batch_ >= epochs_per_batch_) {
-    CloseBatch();
+    cost.status = CloseBatch();
   }
   return cost;
 }
 
-void Logger::CloseBatch() {
+Status Logger::CloseBatch() {
   // Called with mu_ held.
   if (!current_.records.empty()) {
     // A persistent device whose image is clean already holds exactly these
@@ -83,9 +123,17 @@ void Logger::CloseBatch() {
     // atomic rewrite (and its fsync). Simulated devices only ever write
     // here.
     if (!device_->IsPersistent() || image_dirty_) {
-      std::vector<uint8_t> bytes = LogStore::SerializeBatch(scheme_, current_);
-      device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
-                         std::move(bytes));
+      device::IoResult w = device::RetryIo(kLogRetryPolicy, io_retries_, [&] {
+        return device_->WriteFile(LogStore::BatchFileName(id_, current_.seq),
+                                  LogStore::SerializeBatch(scheme_, current_));
+      });
+      if (!w.ok()) {
+        // The batch stays open (and its records retained) so a later
+        // close can retry; dropping it here would lose the only copy on
+        // a non-persistent device.
+        return w.status;
+      }
+      image_dirty_ = false;
     }
     if (on_close_ != nullptr) {
       Timestamp max_cts = 0;
@@ -104,14 +152,15 @@ void Logger::CloseBatch() {
   current_.seq = batch_seq_;
   epochs_in_batch_ = 0;
   image_dirty_ = false;
+  return Status::Ok();
 }
 
-void Logger::Finalize() {
+Status Logger::Finalize() {
   std::lock_guard<std::mutex> g(mu_);
   bytes_logged_ += unflushed_bytes_;
   unflushed_bytes_ = 0;
   unflushed_records_ = 0;
-  CloseBatch();
+  return CloseBatch();
 }
 
 LogManager::LogManager(LogScheme scheme,
@@ -153,10 +202,12 @@ LogManager::LogManager(LogScheme scheme,
     for (uint32_t i = 0; i < num_loggers; ++i) {
       loggers_.push_back(std::make_unique<Logger>(
           i, scheme, devices_[i % devices_.size()], epochs_per_batch,
-          start_seq, [this](const BatchCoverage& c) {
+          start_seq,
+          [this](const BatchCoverage& c) {
             std::lock_guard<std::mutex> g(coverage_mu_);
             closed_batches_.push_back(c);
-          }));
+          },
+          &io_retries_));
     }
   }
 }
@@ -425,13 +476,37 @@ FlushCost LogManager::FlushAll(Epoch epoch) {
     FlushCost c = logger->FlushEpoch(epoch);
     max_cost.bytes += c.bytes;
     if (c.seconds > max_cost.seconds) max_cost.seconds = c.seconds;
+    if (!c.status.ok()) {
+      // This logger's records are not durable: do not mark its epoch
+      // persisted, so pepoch (the min across loggers) cannot advance
+      // over the hole, and report the failure to the caller.
+      io_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (max_cost.status.ok()) {
+        max_cost.status =
+            Status(c.status.code(), "logger " + std::to_string(logger->id()) +
+                                        " flush failed: " + c.status.message());
+      }
+      continue;
+    }
     epochs_->SetLoggerPersisted(logger->id(), epoch);
   }
-  // Persist the pepoch watermark (Appendix A).
-  if (!loggers_.empty()) {
+  // Persist the pepoch watermark (Appendix A). A failed watermark write
+  // means the just-flushed epoch stamps are not provably durable: group
+  // commit must not be acknowledged, exactly as if a logger had failed.
+  // Skipped when a logger already failed — the watermark did not move.
+  if (!loggers_.empty() && max_cost.status.ok()) {
     Serializer s;
     s.PutU64(epochs_->PersistentEpoch());
-    devices_[0]->WriteFile(LogStore::PepochFileName(), s.Release());
+    const std::vector<uint8_t> bytes = s.Release();
+    device::IoResult w = device::RetryIo(kLogRetryPolicy, &io_retries_, [&] {
+      return devices_[0]->WriteFile(LogStore::PepochFileName(), bytes);
+    });
+    if (!w.ok()) {
+      io_failures_.fetch_add(1, std::memory_order_relaxed);
+      max_cost.status =
+          Status(w.status.code(),
+                 "pepoch watermark write failed: " + w.status.message());
+    }
   }
   return max_cost;
 }
@@ -444,10 +519,16 @@ void LogManager::DrainUnderBarrier() {
   }
 }
 
-void LogManager::FinalizeAll() {
+Status LogManager::FinalizeAll() {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
   DrainUnderBarrier();
-  for (auto& logger : loggers_) logger->Finalize();
+  Status first;
+  for (auto& logger : loggers_) {
+    Status s = logger->Finalize();
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  if (!first.ok()) io_failures_.fetch_add(1, std::memory_order_relaxed);
+  return first;
 }
 
 uint64_t LogManager::total_bytes() const {

@@ -45,10 +45,15 @@
 
 namespace pacman::logging {
 
-// Per-epoch flush cost of one logger.
+// Per-epoch flush outcome of one logger (or of FlushAll across loggers).
+// `status` is the durability verdict: non-OK means the epoch's records are
+// NOT on stable storage (after bounded retries) — the pepoch watermark
+// must not advance over them and the caller must escalate (the Database
+// degrades to read-only). `bytes` counts only bytes actually persisted.
 struct FlushCost {
   double seconds = 0.0;
   uint64_t bytes = 0;
+  Status status;
 };
 
 // Coverage summary of one closed (immutable) batch file, reported by the
@@ -70,9 +75,12 @@ class Logger {
 
   // `start_seq` resumes this logger's batch stream past the batches an
   // earlier process left on a persistent device (0 on a fresh device).
+  // `io_retries`, when given, counts transient device errors absorbed by
+  // the bounded retry/backoff around this logger's durable writes.
   Logger(uint32_t id, LogScheme scheme, device::StorageDevice* device,
          uint32_t epochs_per_batch, uint64_t start_seq = 0,
-         CloseCallback on_close = nullptr);
+         CloseCallback on_close = nullptr,
+         std::atomic<uint64_t>* io_retries = nullptr);
   PACMAN_DISALLOW_COPY_AND_MOVE(Logger);
 
   // Appends one record to the current epoch buffer (thread-safe).
@@ -83,11 +91,16 @@ class Logger {
   // atomically rewritten and synced, so everything flushed survives a
   // process kill; on a simulated device the batch stays buffered until it
   // closes and the cost is purely modeled. Closes the batch file every
-  // epochs_per_batch epochs.
+  // epochs_per_batch epochs. Transient device errors are retried with
+  // backoff; on exhausted retries the returned status is non-OK and the
+  // unflushed records stay owed to the next flush (they re-stamp into
+  // whatever epoch finally persists them).
   FlushCost FlushEpoch(Epoch epoch);
 
-  // Closes the in-progress batch (on shutdown / crash boundary).
-  void Finalize();
+  // Closes the in-progress batch (on shutdown / crash boundary). Non-OK
+  // when the final batch image could not be persisted; the batch then
+  // stays open so a later close can retry.
+  Status Finalize();
 
   uint64_t bytes_logged() const { return bytes_logged_; }
   uint64_t batches_written() const { return batches_written_; }
@@ -101,13 +114,14 @@ class Logger {
   }
 
  private:
-  void CloseBatch();
+  Status CloseBatch();
 
   const uint32_t id_;
   const LogScheme scheme_;
   device::StorageDevice* device_;
   const uint32_t epochs_per_batch_;
   const CloseCallback on_close_;
+  std::atomic<uint64_t>* const io_retries_;  // May be null.
 
   std::mutex mu_;
   LogBatch current_;
@@ -165,14 +179,30 @@ class LogManager {
   // across loggers (they run in parallel on separate devices) — the
   // group-commit latency contribution. Serialized internally; safe to call
   // while workers keep committing.
+  //
+  // Durability verdict: the returned status is non-OK when any logger's
+  // flush or the pepoch watermark write failed after bounded retries.
+  // pepoch is only marked for loggers that flushed successfully, so the
+  // watermark never advances over lost bytes, and group commit must not
+  // be acknowledged to clients on a non-OK return.
   FlushCost FlushAll(Epoch epoch);
 
   // Closes all in-progress batches (pre-crash boundary in benchmarks: the
-  // paper recovers only committed/persisted transactions).
-  void FinalizeAll();
+  // paper recovers only committed/persisted transactions). Returns the
+  // first close failure (remaining loggers are still finalized).
+  Status FinalizeAll();
 
   LogScheme scheme() const { return scheme_; }
   uint64_t total_bytes() const;
+  // Transient device errors absorbed by retry/backoff on the log path,
+  // and flush/pepoch failures that survived the retry budget. Operator
+  // health counters (surfaced through net::ServerStats).
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_failures() const {
+    return io_failures_.load(std::memory_order_relaxed);
+  }
   size_t num_loggers() const { return loggers_.size(); }
   uint32_t num_shards() const { return num_shards_; }
   const std::vector<device::StorageDevice*>& devices() const {
@@ -275,6 +305,9 @@ class LogManager {
   // path takes them in the other order).
   std::mutex coverage_mu_;
   std::vector<BatchCoverage> closed_batches_;
+
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> io_failures_{0};
 };
 
 // Builds the log record for a committed transaction under `scheme`.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
 
 #include "common/macros.h"
 #include "common/serializer.h"
+#include "device/io_retry.h"
 
 namespace pacman::logging {
 
@@ -114,60 +116,101 @@ Status AnnotateParseError(const Status& s, const BatchParseOptions& opts,
 Status LogStore::DeserializeBatch(
     LogScheme scheme, std::shared_ptr<const std::vector<uint8_t>> bytes,
     const BatchParseOptions& opts, LogBatch* out) {
+  out->torn_tail = false;
   Deserializer in(*bytes);
   in.set_borrow_strings(opts.borrow);
+  // Finishes a tolerated torn-tail parse: keep whatever records parsed in
+  // full, recompute the cts interval from them (the header's interval may
+  // cover records the tear cut off), and report success.
+  auto torn = [&]() -> Status {
+    out->torn_tail = true;
+    out->min_cts = kMaxTimestamp;
+    out->max_cts = 0;
+    for (const LogRecord& r : out->records) {
+      out->min_cts = std::min(out->min_cts, r.commit_ts);
+      out->max_cts = std::max(out->max_cts, r.commit_ts);
+    }
+    out->file_bytes = bytes->size();
+    if (opts.borrow) {
+      out->backing = std::move(bytes);
+    } else {
+      out->backing.reset();
+    }
+    return Status::Ok();
+  };
   uint32_t magic;
   Status s = in.GetU32(&magic);
-  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "magic");
+  if (!s.ok()) {
+    if (opts.tolerate_torn_tail) {
+      out->records.clear();
+      return torn();
+    }
+    return AnnotateParseError(s, opts, in.position(), "magic");
+  }
   if (magic != kBatchMagicV1 && magic != kBatchMagicV2) {
+    // A present-but-wrong magic is never a truncation artifact; it stays
+    // loud even under torn-tail tolerance.
     return AnnotateParseError(Status::Corruption("bad batch magic"), opts, 0,
                               "magic");
   }
   s = in.GetU32(&out->logger_id);
-  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
-  s = in.GetU64(&out->seq);
-  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
-  s = in.GetU64(&out->first_epoch);
-  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
-  s = in.GetU64(&out->last_epoch);
-  if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
+  if (s.ok()) s = in.GetU64(&out->seq);
+  if (s.ok()) s = in.GetU64(&out->first_epoch);
+  if (s.ok()) s = in.GetU64(&out->last_epoch);
   out->min_cts = kMaxTimestamp;
   out->max_cts = 0;
-  if (magic == kBatchMagicV2) {
+  if (s.ok() && magic == kBatchMagicV2) {
     s = in.GetU64(&out->min_cts);
-    if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
-    s = in.GetU64(&out->max_cts);
-    if (!s.ok()) return AnnotateParseError(s, opts, in.position(), "header");
+    if (s.ok()) s = in.GetU64(&out->max_cts);
+  }
+  if (!s.ok()) {
+    if (opts.tolerate_torn_tail) {
+      out->records.clear();
+      return torn();
+    }
+    return AnnotateParseError(s, opts, in.position(), "header");
   }
   uint32_t n = 0;
   s = in.GetU32(&n);
   if (!s.ok()) {
+    if (opts.tolerate_torn_tail) {
+      out->records.clear();
+      return torn();
+    }
     return AnnotateParseError(s, opts, in.position(), "record count");
   }
   // Bound the count by the bytes actually present (every record needs at
   // least its fixed header) before allocating: a garbage count field must
   // be loud corruption, not a hundred-GB resize.
   constexpr size_t kMinRecordBytes = 8 + 8 + 4;  // cts + epoch + count.
-  if (n > in.remaining() / kMinRecordBytes) {
+  const size_t fit = in.remaining() / kMinRecordBytes;
+  if (n > fit && !opts.tolerate_torn_tail) {
     return AnnotateParseError(
         Status::Corruption("record count " + std::to_string(n) +
                            " exceeds file size"),
         opts, in.position(), "record count");
   }
-  out->records.resize(n);
+  // Under tolerance a count larger than the remaining bytes is the
+  // expected signature of a truncated record region; allocate only what
+  // can possibly be present and parse the persisted prefix.
+  out->records.clear();
+  out->records.reserve(std::min<size_t>(n, fit));
   for (uint32_t i = 0; i < n; ++i) {
-    s = DeserializeRecord(scheme, &in, &out->records[i]);
+    LogRecord rec;
+    s = DeserializeRecord(scheme, &in, &rec);
     if (!s.ok()) {
+      if (opts.tolerate_torn_tail) return torn();
       return AnnotateParseError(
           s, opts, in.position(),
           ("record " + std::to_string(i) + " of " + std::to_string(n))
               .c_str());
     }
+    out->records.push_back(std::move(rec));
     if (magic == kBatchMagicV1) {
       // v1 headers carry no cts interval; derive it so every reloaded
       // batch answers coverage questions uniformly.
-      out->min_cts = std::min(out->min_cts, out->records[i].commit_ts);
-      out->max_cts = std::max(out->max_cts, out->records[i].commit_ts);
+      out->min_cts = std::min(out->min_cts, out->records.back().commit_ts);
+      out->max_cts = std::max(out->max_cts, out->records.back().commit_ts);
     }
   }
   out->file_bytes = bytes->size();
@@ -222,6 +265,19 @@ Status LogStore::LoadAllBatches(
     LogScheme scheme, const std::vector<device::StorageDevice*>& devices,
     std::vector<LogBatch>* out) {
   out->clear();
+  // Newest batch per logger stream across all devices: the only file a
+  // crash mid-(re)write can leave torn — closed batches are immutable —
+  // so only it is parsed with torn-tail tolerance.
+  std::map<uint32_t, uint64_t> newest_seq;
+  for (device::StorageDevice* device : devices) {
+    for (const std::string& name : device->ListFiles("log_")) {
+      uint32_t logger = 0;
+      uint64_t seq = 0;
+      if (!ParseBatchFileName(name, &logger, &seq)) continue;
+      auto it = newest_seq.find(logger);
+      if (it == newest_seq.end() || seq > it->second) newest_seq[logger] = seq;
+    }
+  }
   for (device::StorageDevice* device : devices) {
     // Order the names numerically by (seq, logger) before reading. The
     // final sort below orders by the header fields anyway, but robust
@@ -249,9 +305,17 @@ Status LogStore::LoadAllBatches(
       Status s = device->ReadFile(nb.name, &bytes);
       if (!s.ok()) return s;
       LogBatch batch;
-      s = DeserializeBatch(scheme, std::move(bytes), {false, nb.name},
-                           &batch);
+      BatchParseOptions popts;
+      popts.file_name = nb.name;
+      popts.tolerate_torn_tail = newest_seq[nb.logger] == nb.seq;
+      s = DeserializeBatch(scheme, std::move(bytes), popts, &batch);
       if (!s.ok()) return s;
+      if (batch.torn_tail && batch.records.empty()) {
+        // The tear cut into the header itself; recover the batch identity
+        // from the file name so downstream ordering stays correct.
+        batch.logger_id = nb.logger;
+        batch.seq = nb.seq;
+      }
       out->push_back(std::move(batch));
     }
   }
@@ -267,6 +331,19 @@ Status LogStore::LoadAllBatches(
 Status LogStore::TruncateBeyondWatermark(
     LogScheme scheme, const std::vector<device::StorageDevice*>& devices,
     Epoch pepoch) {
+  // See LoadAllBatches: only the newest file of a logger stream may be
+  // torn; interior files must still parse strictly.
+  std::map<uint32_t, uint64_t> newest_seq;
+  for (device::StorageDevice* device : devices) {
+    if (!device->IsPersistent()) continue;
+    for (const std::string& name : device->ListFiles("log_")) {
+      uint32_t logger = 0;
+      uint64_t seq = 0;
+      if (!ParseBatchFileName(name, &logger, &seq)) continue;
+      auto it = newest_seq.find(logger);
+      if (it == newest_seq.end() || seq > it->second) newest_seq[logger] = seq;
+    }
+  }
   for (device::StorageDevice* device : devices) {
     if (!device->IsPersistent()) continue;
     for (const std::string& name : device->ListFiles("log_")) {
@@ -277,9 +354,19 @@ Status LogStore::TruncateBeyondWatermark(
       Status s = device->ReadFile(name, &bytes);
       if (!s.ok()) return s;
       LogBatch batch;
-      s = DeserializeBatch(scheme, std::move(bytes), {false, name}, &batch);
+      BatchParseOptions popts;
+      popts.file_name = name;
+      popts.tolerate_torn_tail = newest_seq[logger] == seq;
+      s = DeserializeBatch(scheme, std::move(bytes), popts, &batch);
       if (!s.ok()) return s;
-      bool dirty = false;
+      if (batch.torn_tail && batch.records.empty()) {
+        batch.logger_id = logger;
+        batch.seq = seq;
+      }
+      // A torn file is rewritten even if no record crossed the watermark:
+      // the rewrite replaces the ragged image with a clean serialization
+      // of the surviving prefix.
+      bool dirty = batch.torn_tail;
       std::vector<LogRecord> kept;
       kept.reserve(batch.records.size());
       for (LogRecord& r : batch.records) {
@@ -291,7 +378,15 @@ Status LogStore::TruncateBeyondWatermark(
       }
       if (!dirty) continue;
       batch.records = std::move(kept);
-      device->WriteFile(name, SerializeBatch(scheme, batch));
+      device::IoResult w =
+          device::RetryIo(device::IoRetryPolicy{}, nullptr, [&] {
+            return device->WriteFile(name, SerializeBatch(scheme, batch));
+          });
+      if (!w.ok()) {
+        return Status(w.status.code(),
+                      "log truncation rewrite of " + name +
+                          " failed: " + w.status.message());
+      }
     }
   }
   return Status::Ok();

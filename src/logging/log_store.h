@@ -40,6 +40,10 @@ struct LogBatch {
   // its own buffer and a reload never duplicates the log; moving the
   // LogBatch moves the handle and views stay valid.
   std::shared_ptr<const std::vector<uint8_t>> backing;
+  // True when the file ended mid-record and the parse ran in
+  // tolerate_torn_tail mode: `records` holds only the fully persisted
+  // prefix. See BatchParseOptions::tolerate_torn_tail.
+  bool torn_tail = false;
 };
 
 // How DeserializeBatch parses a batch file.
@@ -51,6 +55,17 @@ struct BatchParseOptions {
   // File name reported in deserialization errors (with the byte offset),
   // so a corrupt batch names the exact file and position that broke.
   std::string file_name;
+  // Torn-write tolerance, for the *newest* batch file of a logger stream
+  // only: on a device without atomic replace, a crash mid-rewrite leaves
+  // a prefix of the new image. A clean truncation (header or records cut
+  // short) then keeps the fully parsed record prefix and reports success
+  // with LogBatch::torn_tail set, instead of failing the reload. Safe
+  // because the lost suffix records postdate the pepoch watermark (the
+  // watermark is only written after a *completed* flush), so recovery
+  // would have excluded them anyway. Garbage that is not a truncation —
+  // a wrong magic value — stays loud. Interior (closed, immutable) batch
+  // files must never be parsed with this set.
+  bool tolerate_torn_tail = false;
 };
 
 // File naming and batch (de)serialization.

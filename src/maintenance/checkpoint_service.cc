@@ -101,7 +101,11 @@ Status CheckpointService::RunOnce(CheckpointEvent* event) {
     last_cycle_monotonic_s_ = t0;
     log_bytes_at_last_cycle_ = db_->log_bytes();
   }
-  if (db_->crashed()) return Status::Ok();
+  // A degraded (read-only) database skips cycles too: the pepoch
+  // watermark cannot advance, so a new checkpoint could not safely
+  // truncate anything — and its own writes would likely hit the same
+  // failed device.
+  if (db_->crashed() || db_->read_only()) return Status::Ok();
   {
     // Idle skip: nothing committed since the last snapshot means a new
     // checkpoint would be content-identical — pure file churn.
@@ -193,7 +197,12 @@ void CheckpointService::TruncateLog(const logging::CheckpointMeta& meta,
       }
       if (max_cts > meta.ts) continue;  // Not yet covered.
       const uint64_t bytes = dev->FileSize(name);
-      dev->RemoveFile(name);
+      device::IoResult rm = dev->RemoveFile(name);
+      if (!rm.ok()) {
+        // The file is still there (and still covered): keep its coverage
+        // entry so the next cycle retries the delete.
+        continue;
+      }
       {
         std::lock_guard<std::mutex> g(mu_);
         coverage_.erase({logger_id, seq});
@@ -230,8 +239,10 @@ void CheckpointService::RetireCheckpoints(const logging::CheckpointMeta& meta,
     // ids above meta.id belong to an in-flight manual checkpoint —
     // hands off; retention judges them once they are the newest.
     if (id > meta.id || keep.count(id)) continue;
-    devices[0]->RemoveFile(logging::Checkpointer::MetaFileName(id));
-    event->stripes_deleted += 1;
+    device::IoResult rm =
+        devices[0]->RemoveFile(logging::Checkpointer::MetaFileName(id));
+    // A failed delete just stays for the next cycle (retire is idempotent).
+    if (rm.ok()) event->stripes_deleted += 1;
   }
   for (device::StorageDevice* dev : devices) {
     for (const std::string& name : dev->ListFiles("ckpt_")) {
@@ -242,8 +253,8 @@ void CheckpointService::RetireCheckpoints(const logging::CheckpointMeta& meta,
         continue;  // Meta files and foreign names.
       }
       if (id > meta.id || keep.count(id)) continue;
-      dev->RemoveFile(name);
-      event->stripes_deleted += 1;
+      device::IoResult rm = dev->RemoveFile(name);
+      if (rm.ok()) event->stripes_deleted += 1;
     }
   }
 }

@@ -505,10 +505,13 @@ class Server::IoLoop {
       reply.PutString("database crashed; awaiting recovery");
     } else {
       // Group-commit flush as a client-driven durability fence: on return
-      // every previously answered commit is on stable storage.
-      db_->AdvanceEpoch();
-      reply.PutU8(static_cast<uint8_t>(StatusCode::kOk));
-      reply.PutString("");
+      // Ok, every previously answered commit is on stable storage. A
+      // failed flush (including the pepoch watermark write) degrades the
+      // database and is reported — the fence must never ack work the
+      // device did not keep.
+      const logging::FlushCost cost = db_->AdvanceEpoch();
+      reply.PutU8(static_cast<uint8_t>(cost.status.code()));
+      reply.PutString(cost.status.ok() ? "" : cost.status.message());
     }
     SendNow(conn, reply);
   }
@@ -780,6 +783,10 @@ ServerStats Server::stats() const {
   out.log_batches_deleted = m.batches_deleted;
   out.log_bytes_deleted = m.batch_bytes_deleted;
   out.ckpt_stripes_deleted = m.stripes_deleted;
+  out.read_only = db_->read_only();
+  if (out.read_only) out.read_only_reason = db_->read_only_reason();
+  out.io_retries = db_->io_retries();
+  out.io_failures = db_->io_failures();
   return out;
 }
 

@@ -88,6 +88,13 @@ struct ServerStats {
   uint64_t log_batches_deleted = 0;    // Log batch files removed.
   uint64_t log_bytes_deleted = 0;      // Their on-device bytes.
   uint64_t ckpt_stripes_deleted = 0;   // Superseded ckpt files removed.
+  // Durability health, mirrored from the engine (pacman/database.h):
+  // whether the database is in read-only degraded mode (and why), plus
+  // the logging layer's transient-retry and permanent-failure counters.
+  bool read_only = false;
+  std::string read_only_reason;
+  uint64_t io_retries = 0;   // Transient durable-path faults retried away.
+  uint64_t io_failures = 0;  // Durable-path ops that exhausted retries.
 };
 
 class Server {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "exec/thread_pool.h"
@@ -295,6 +296,15 @@ TxnResult Database::Execute(ProcId proc, const std::vector<Value>& params,
       result.status = s;
       return result;
     }
+    if (!t.write_set().empty() && read_only()) {
+      // Degraded mode: this commit could never be made durable, so it is
+      // rejected cleanly *before* installing anything. Read-only
+      // transactions (empty write set) fall through and keep serving.
+      result.status =
+          Status::ReadOnly("database is read-only (degraded): " +
+                           read_only_reason());
+      return result;
+    }
     t.SetLogContext(proc, &params, opts.adhoc);
     t.set_worker_id(opts.worker_id);
     txn::CommitInfo info;
@@ -330,11 +340,47 @@ DriverResult Database::RunWorkers(const TxnGenerator& gen,
 
 logging::FlushCost Database::AdvanceEpoch() {
   std::lock_guard<std::mutex> g(epoch_mu_);
+  if (read_only()) {
+    // Degraded: the durable path already failed permanently. Advancing
+    // the epoch without a flush would silently un-anchor the pepoch
+    // watermark, and re-flushing would hammer the dead device; report
+    // the state instead (the wire durability fence surfaces this to
+    // clients).
+    logging::FlushCost cost;
+    cost.status = Status::ReadOnly("database is read-only (degraded): " +
+                                   read_only_reason());
+    return cost;
+  }
   const Epoch finished = epochs_.current();
   epochs_.Advance();
   logging::FlushCost cost = log_manager_->FlushAll(finished);
   total_flush_seconds_.fetch_add(cost.seconds, std::memory_order_relaxed);
+  if (!cost.status.ok()) {
+    // Retries are exhausted inside the logging layer, so a failure here
+    // is permanent for this device: degrade rather than abort. Committed
+    // work up to the last successful pepoch write stays durable; records
+    // beyond it are retained in memory by the loggers and were never
+    // acked as durable (the watermark is the ack).
+    EnterReadOnly("group-commit flush failed: " + cost.status.message());
+  }
   return cost;
+}
+
+void Database::EnterReadOnly(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> g(read_only_mu_);
+    if (read_only_.load(std::memory_order_acquire)) return;
+    read_only_reason_ = reason;
+    read_only_.store(true, std::memory_order_release);
+  }
+  std::fprintf(stderr,
+               "pacman: entering READ-ONLY degraded mode: %s\n",
+               reason.c_str());
+}
+
+std::string Database::read_only_reason() const {
+  std::lock_guard<std::mutex> g(read_only_mu_);
+  return read_only_reason_;
 }
 
 logging::CheckpointMeta Database::TakeCheckpoint() {
@@ -407,10 +453,19 @@ void Database::Crash() {
   // received is durable (group commit released results only up to pepoch,
   // so recovering slightly more than pepoch is always safe). The final
   // AdvanceEpoch also drains every per-worker staging buffer, so the crash
-  // point lies on an epoch boundary with all committed work durable.
+  // point lies on an epoch boundary with all committed work durable. On a
+  // degraded (read-only) database both are allowed to fail — the crash
+  // point then simply falls at the last successful pepoch write, which is
+  // exactly the durable prefix clients were acked.
   AdvanceEpoch();
-  log_manager_->FinalizeAll();
+  (void)log_manager_->FinalizeAll();
   catalog_.ResetAllTables();
+  {
+    // kCrashed supersedes kReadOnly; Recover() decides what comes back.
+    std::lock_guard<std::mutex> g(read_only_mu_);
+    read_only_.store(false, std::memory_order_release);
+    read_only_reason_.clear();
+  }
   crashed_.store(true, std::memory_order_release);
 }
 
@@ -797,6 +852,13 @@ FullRecoveryResult Database::Recover(recovery::Scheme scheme,
   {
     std::lock_guard<std::mutex> g(ckpt_mu_);
     next_ckpt_id_ = std::max(next_ckpt_id_, meta.id + 1);
+  }
+  {
+    // A successful recovery re-opens the database fully: the degraded
+    // state (if any) belonged to the previous incarnation's device.
+    std::lock_guard<std::mutex> g(read_only_mu_);
+    read_only_.store(false, std::memory_order_release);
+    read_only_reason_.clear();
   }
   crashed_.store(false, std::memory_order_release);
   return result;

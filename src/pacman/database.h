@@ -119,6 +119,18 @@ struct DatabaseOptions {
 // (wall-clock; used by the library API and tests).
 enum class ExecutionBackend { kSimulated, kThreads };
 
+// Overall durability state of a Database.
+//
+//   kOpen      normal operation.
+//   kReadOnly  degraded: a durable-path write failed permanently (group
+//              commit cannot make new work durable), so write
+//              transactions are rejected with StatusCode::kReadOnly while
+//              reads — and the network front-end — keep serving.
+//              Recover() restores kOpen.
+//   kCrashed   after Crash() (or construction over an existing log_dir):
+//              awaiting Recover().
+enum class DatabaseState { kOpen, kReadOnly, kCrashed };
+
 struct FullRecoveryResult {
   recovery::RecoveryStats checkpoint;
   recovery::RecoveryStats log;
@@ -311,6 +323,32 @@ class Database {
   void Crash();
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  // --- Degraded (read-only) mode ------------------------------------------
+  // Entered when a durable-path write fails permanently (group-commit
+  // flush or pepoch watermark write exhausted its retries): un-acked
+  // write transactions fail cleanly with StatusCode::kReadOnly, reads and
+  // the network front-end keep serving, and the first failure's reason is
+  // recorded for operators. AdvanceEpoch stops touching the failed device
+  // (an explicit durability fence reports kReadOnly instead). Exposed for
+  // tests/tools; the engine calls it from AdvanceEpoch. Idempotent — the
+  // first reason wins.
+  void EnterReadOnly(const std::string& reason);
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  // The recorded reason ("" when not degraded).
+  std::string read_only_reason() const;
+  DatabaseState state() const {
+    if (crashed()) return DatabaseState::kCrashed;
+    return read_only() ? DatabaseState::kReadOnly : DatabaseState::kOpen;
+  }
+
+  // Durable-path IO health counters, aggregated from the logging layer:
+  // transient write/fsync faults absorbed by retry, and flushes that
+  // exhausted retries (each of which degraded the database).
+  uint64_t io_retries() const { return log_manager_->io_retries(); }
+  uint64_t io_failures() const { return log_manager_->io_failures(); }
+
   // True when the devices already held durable state at construction (a
   // persistent log_dir reopened after a process kill). The database then
   // starts in the crashed state: install the schema and procedures (not
@@ -378,6 +416,9 @@ class Database {
   uint64_t next_ckpt_id_ = 0;
   std::atomic<double> total_flush_seconds_{0.0};
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex read_only_mu_;  // Guards read_only_reason_.
+  std::string read_only_reason_;
   bool opened_existing_state_ = false;
   std::mutex epoch_mu_;  // Serializes AdvanceEpoch across workers.
   std::mutex slot_mu_;   // Guards the worker-slot allocator state.

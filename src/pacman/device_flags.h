@@ -8,9 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/flags.h"
+#include "device/fault_injecting_device.h"
 #include "pacman/database.h"
 
 namespace pacman {
@@ -22,14 +25,47 @@ namespace pacman {
 // grows private device plumbing. A sharded engine gets one device per
 // shard so every shard's logger (and its checkpoint stripes) lives on its
 // own stream — the layout the per-shard recovery lanes assume.
+//
+// --device faulty:<spec> wraps the chosen inner backend ("sim" or "file",
+// named first in the spec) in the FaultInjectingDevice decorator via a
+// DatabaseOptions::device_factory; a malformed spec exits with the parse
+// error. See device/fault_injecting_device.h for the spec grammar.
 inline void ApplyDeviceFlags(const CommonFlags& flags, DatabaseOptions* opts,
                              const std::string& subdir = "") {
   opts->num_shards = flags.shards;
   if (flags.shards > 1) opts->num_ssds = flags.shards;
-  if (!flags.use_file_device()) return;
-  opts->device = device::DeviceKind::kFile;
-  opts->log_dir =
-      subdir.empty() ? flags.log_dir : flags.log_dir + "/" + subdir;
+  if (flags.use_file_device()) {
+    opts->device = device::DeviceKind::kFile;
+    opts->log_dir =
+        subdir.empty() ? flags.log_dir : flags.log_dir + "/" + subdir;
+  }
+  if (!flags.use_faulty_device()) return;
+  device::FaultSpec spec;
+  std::string inner_kind;
+  const Status parsed =
+      device::ParseFaultSpec(flags.faulty_spec(), &spec, &inner_kind);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: --device: %s\n", parsed.message().c_str());
+    std::exit(2);
+  }
+  // Capture everything by value: the factory outlives this scope (the
+  // Database constructor calls it once per device index).
+  const device::SsdConfig ssd_config = opts->ssd_config;
+  const std::string log_dir = opts->log_dir;
+  opts->device_factory =
+      [spec, inner_kind, ssd_config,
+       log_dir](uint32_t index) -> std::unique_ptr<device::StorageDevice> {
+    std::unique_ptr<device::StorageDevice> inner;
+    if (inner_kind == "file") {
+      device::FileDeviceConfig cfg;
+      cfg.dir = log_dir + "/dev" + std::to_string(index);
+      inner = std::make_unique<device::FileDevice>(cfg);
+    } else {
+      inner = std::make_unique<device::SimulatedSsd>(ssd_config);
+    }
+    return std::make_unique<device::FaultInjectingDevice>(std::move(inner),
+                                                          spec, index);
+  };
 }
 
 // Fresh-start walkthroughs (the examples install schema *and* data, then

@@ -1,6 +1,7 @@
 #include "recovery/log_pipeline.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/macros.h"
@@ -36,6 +37,18 @@ LogLoadPlan PlanLogLoad(const std::vector<device::StorageDevice*>& devices,
               if (a.seq != b.seq) return a.seq < b.seq;
               return a.logger < b.logger;
             });
+  // The newest file of each logger stream tolerates a torn tail (see
+  // BatchParseOptions::tolerate_torn_tail); interior files stay strict.
+  std::map<uint32_t, uint64_t> newest_seq;
+  for (const BatchFileInfo& f : plan.files) {
+    auto it = newest_seq.find(f.logger);
+    if (it == newest_seq.end() || f.seq > it->second) {
+      newest_seq[f.logger] = f.seq;
+    }
+  }
+  for (BatchFileInfo& f : plan.files) {
+    f.tolerate_tail = newest_seq[f.logger] == f.seq;
+  }
   for (size_t i = 0; i < plan.files.size(); ++i) {
     if (plan.seqs.empty() || plan.seqs.back() != plan.files[i].seq) {
       plan.seqs.push_back(plan.files[i].seq);
@@ -141,8 +154,16 @@ void PipelinedLogLoader::ReadDeviceStream(
       logging::BatchParseOptions popts;
       popts.borrow = true;  // Zero-copy: strings view LogBatch::backing.
       popts.file_name = f.name;
+      popts.tolerate_torn_tail = f.tolerate_tail;
       Status ds =
           logging::LogStore::DeserializeBatch(scheme_, buf, popts, &batch);
+      if (ds.ok() && batch.torn_tail && batch.records.empty()) {
+        // The tear cut into the header itself; recover the identity from
+        // the file name (the empty fragment still has to check in with
+        // its sequence group below).
+        batch.logger_id = f.logger;
+        batch.seq = f.seq;
+      }
       if (ds.ok() && (batch.seq != f.seq || batch.logger_id != f.logger)) {
         // The merge groups fragments by file name; a header that
         // disagrees would silently land records in the wrong global

@@ -61,6 +61,10 @@ struct BatchFileInfo {
   size_t seq_index = 0;  // Index into LogLoadPlan::seqs.
   size_t bytes = 0;      // On-device size (listing metadata).
   std::string name;
+  // True for the newest file of its logger stream: the only file a crash
+  // mid-(re)write can leave torn, so it parses with
+  // BatchParseOptions::tolerate_torn_tail.
+  bool tolerate_tail = false;
 };
 
 // The load plan, built from device listings only (no file contents read):

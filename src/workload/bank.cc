@@ -74,6 +74,18 @@ void Bank::RegisterProcedures(proc::ProcedureRegistry* registry) {
   }
 }
 
+ProcId Bank::RegisterBalance(proc::ProcedureRegistry* registry) {
+  // Balance(user): pure read — commits with an empty write set, so a
+  // database in read-only degraded mode keeps serving it.
+  proc::ProcedureBuilder b("Balance", {ValueType::kInt64});
+  int cur = b.Read("Current", P(0));
+  int sav = b.Read("Saving", P(0));
+  b.Emit(F(cur, 0));
+  b.Emit(F(sav, 0));
+  balance_id_ = registry->Register(b.Build());
+  return balance_id_;
+}
+
 void Bank::Install(Database* db) {
   CreateTables(db->catalog());
   RegisterProcedures(db->registry());

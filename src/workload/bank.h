@@ -35,6 +35,13 @@ class Bank {
   void CreateTables(storage::Catalog* catalog);
   // Registers Transfer and Deposit; remembers their ProcIds.
   void RegisterProcedures(proc::ProcedureRegistry* registry);
+  // Registers the read-only Balance(user) procedure (emits the user's
+  // Current and Saving balances). Opt-in and separate from
+  // RegisterProcedures: the paper's analysis examples (and the tests
+  // pinning their slice/block structure) cover exactly Transfer+Deposit,
+  // while servers that must keep answering reads in degraded
+  // (read-only) mode register this too.
+  ProcId RegisterBalance(proc::ProcedureRegistry* registry);
   // Bulk-loads the initial state at timestamp 1.
   void Load(storage::Catalog* catalog);
 
@@ -47,12 +54,15 @@ class Bank {
 
   ProcId transfer_id() const { return transfer_id_; }
   ProcId deposit_id() const { return deposit_id_; }
+  // Valid only after RegisterBalance.
+  ProcId balance_id() const { return balance_id_; }
   const BankConfig& config() const { return config_; }
 
  private:
   BankConfig config_;
   ProcId transfer_id_ = 0;
   ProcId deposit_id_ = 0;
+  ProcId balance_id_ = 0;
 };
 
 }  // namespace pacman::workload

@@ -92,23 +92,23 @@ class DeviceTest : public ::testing::Test {
 TEST_F(DeviceTest, FileDeviceObjectStoreRoundTrip) {
   device::FileDevice dev({.dir = dir_ + "/dev"});
   EXPECT_FALSE(dev.Exists("a"));
-  dev.WriteFile("a", {1, 2, 3});
+  ASSERT_TRUE(dev.WriteFile("a", {1, 2, 3}).ok());
   EXPECT_TRUE(dev.Exists("a"));
   EXPECT_EQ(dev.FileSize("a"), 3u);
-  dev.AppendFile("a", {4, 5});
-  dev.SyncBarrier();
+  ASSERT_TRUE(dev.AppendFile("a", {4, 5}).ok());
+  ASSERT_TRUE(dev.SyncBarrier().ok());
   std::vector<uint8_t> bytes;
   ASSERT_TRUE(dev.ReadFile("a", &bytes).ok());
   EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
   // Overwrite is a full replace (atomic tmp+rename underneath).
-  dev.WriteFile("a", {9});
+  ASSERT_TRUE(dev.WriteFile("a", {9}).ok());
   ASSERT_TRUE(dev.ReadFile("a", &bytes).ok());
   EXPECT_EQ(bytes, std::vector<uint8_t>{9});
   EXPECT_EQ(dev.ReadFile("missing", &bytes).code(), StatusCode::kNotFound);
   EXPECT_EQ(dev.FileSize("missing"), 0u);
 
-  dev.WriteFile("log_b", {0});
-  dev.WriteFile("log_a", {0});
+  ASSERT_TRUE(dev.WriteFile("log_b", {0}).ok());
+  ASSERT_TRUE(dev.WriteFile("log_a", {0}).ok());
   EXPECT_EQ(dev.ListFiles("log_"),
             (std::vector<std::string>{"log_a", "log_b"}));
   EXPECT_GT(dev.total_bytes_written(), 0u);
@@ -120,7 +120,7 @@ TEST_F(DeviceTest, FileDeviceObjectStoreRoundTrip) {
 TEST_F(DeviceTest, FileDeviceStateSurvivesReopen) {
   {
     device::FileDevice dev({.dir = dir_ + "/dev"});
-    dev.WriteFile("pepoch.log", {7, 7});
+    ASSERT_TRUE(dev.WriteFile("pepoch.log", {7, 7}).ok());
   }
   device::FileDevice reopened({.dir = dir_ + "/dev"});
   std::vector<uint8_t> bytes;
@@ -136,7 +136,9 @@ TEST_F(DeviceTest, FileDeviceCostSurfaceReportsMeasuredWallClock) {
   EXPECT_GT(dev.ReadSeconds(1 << 20), 0.0);
   EXPECT_GE(dev.FsyncSeconds(), 0.0);
   std::vector<uint8_t> payload(1 << 16, 0xab);
-  EXPECT_GE(dev.WriteFile("f", payload), 0.0);
+  const device::IoResult w = dev.WriteFile("f", payload);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(w.seconds, 0.0);
   std::vector<uint8_t> bytes;
   ASSERT_TRUE(dev.ReadFile("f", &bytes).ok());
   // After samples the estimates scale linearly in the byte count.
@@ -317,8 +319,9 @@ TEST_F(DeviceTest, TruncateBeyondWatermarkErasesZombieRecords) {
     batch.records.push_back(std::move(rec));
   }
   const std::string name = logging::LogStore::BatchFileName(0, batch.seq);
-  dev.WriteFile(name, logging::LogStore::SerializeBatch(
-                          logging::LogScheme::kCommand, batch));
+  ASSERT_TRUE(dev.WriteFile(name, logging::LogStore::SerializeBatch(
+                                      logging::LogScheme::kCommand, batch))
+                  .ok());
 
   ASSERT_TRUE(logging::LogStore::TruncateBeyondWatermark(
                   logging::LogScheme::kCommand, {&dev}, /*pepoch=*/2)
@@ -362,10 +365,11 @@ TEST_F(DeviceTest, RestartRecoveryErasesZombiesFromPartialFlush) {
         {db->catalog()->GetTableId("Current"), 0, {Value(-1e9)}, false});
     zombie.first_epoch = zombie.last_epoch = rec.epoch;
     zombie.records.push_back(rec);
-    db->device(0)->WriteFile(
-        logging::LogStore::BatchFileName(0, zombie.seq),
-        logging::LogStore::SerializeBatch(logging::LogScheme::kCommand,
-                                          zombie));
+    ASSERT_TRUE(db->device(0)
+                    ->WriteFile(logging::LogStore::BatchFileName(0, zombie.seq),
+                                logging::LogStore::SerializeBatch(
+                                    logging::LogScheme::kCommand, zombie))
+                    .ok());
   }
 
   recovery::RecoveryOptions ropts;

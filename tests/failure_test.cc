@@ -116,7 +116,7 @@ TEST_F(FailureTest, CorruptCheckpointStripeIsRejected) {
   ASSERT_TRUE(db->ssd(0)->ReadFile(name, &bytes).ok());
   std::vector<uint8_t> truncated(bytes.begin(),
                                  bytes.begin() + bytes.size() - 3);
-  db->ssd(0)->WriteFile(name, std::move(truncated));
+  ASSERT_TRUE(db->ssd(0)->WriteFile(name, std::move(truncated)).ok());
   logging::CheckpointStripe stripe;
   EXPECT_EQ(ckpt.ReadStripe(meta, 0, 0, &stripe).code(),
             StatusCode::kCorruption);
@@ -141,9 +141,12 @@ TEST_F(FailureTest, RecordsBeyondPepochAreNotReplayed) {
       {db->catalog()->GetTableId("Current"), 0, {Value(-1e9)}, false});
   rogue.first_epoch = rogue.last_epoch = rec.epoch;
   rogue.records.push_back(rec);
-  db->ssd(0)->WriteFile(
-      logging::LogStore::BatchFileName(0, rogue.seq),
-      logging::LogStore::SerializeBatch(logging::LogScheme::kCommand, rogue));
+  ASSERT_TRUE(
+      db->ssd(0)
+          ->WriteFile(logging::LogStore::BatchFileName(0, rogue.seq),
+                      logging::LogStore::SerializeBatch(
+                          logging::LogScheme::kCommand, rogue))
+          .ok());
 
   recovery::RecoveryOptions ropts;
   ropts.num_threads = 4;

@@ -102,13 +102,13 @@ class MaintenanceTest : public ::testing::Test {
 
 TEST_F(MaintenanceTest, FileDeviceRemoveFileIsDurableAndIdempotent) {
   device::FileDevice dev({.dir = dir_ + "/dev"});
-  dev.WriteFile("log_00_000000000001.batch", {1, 2, 3});
+  ASSERT_TRUE(dev.WriteFile("log_00_000000000001.batch", {1, 2, 3}).ok());
   ASSERT_TRUE(dev.Exists("log_00_000000000001.batch"));
-  dev.RemoveFile("log_00_000000000001.batch");
+  ASSERT_TRUE(dev.RemoveFile("log_00_000000000001.batch").ok());
   EXPECT_FALSE(dev.Exists("log_00_000000000001.batch"));
   // Idempotent: deleting an absent name is a no-op, not an abort.
-  dev.RemoveFile("log_00_000000000001.batch");
-  dev.RemoveFile("never_existed");
+  EXPECT_TRUE(dev.RemoveFile("log_00_000000000001.batch").ok());
+  EXPECT_TRUE(dev.RemoveFile("never_existed").ok());
   // Durable: a reopened device (fresh directory scan) agrees.
   device::FileDevice reopened({.dir = dir_ + "/dev"});
   EXPECT_FALSE(reopened.Exists("log_00_000000000001.batch"));
@@ -116,10 +116,10 @@ TEST_F(MaintenanceTest, FileDeviceRemoveFileIsDurableAndIdempotent) {
 
 TEST_F(MaintenanceTest, SimulatedSsdRemoveFileIsIdempotent) {
   device::SimulatedSsd dev(device::SsdConfig::PaperSsd());
-  dev.WriteFile("a", {1});
-  dev.RemoveFile("a");
+  ASSERT_TRUE(dev.WriteFile("a", {1}).ok());
+  ASSERT_TRUE(dev.RemoveFile("a").ok());
   EXPECT_FALSE(dev.Exists("a"));
-  dev.RemoveFile("a");
+  EXPECT_TRUE(dev.RemoveFile("a").ok());
   EXPECT_TRUE(dev.ListFiles("").empty());
 }
 
@@ -139,8 +139,9 @@ TEST_F(MaintenanceTest, ReadBatchCoverageAnswersFromHeader) {
     batch.records.push_back(r);
   }
   const std::string name = logging::LogStore::BatchFileName(1, 4);
-  dev.WriteFile(name, logging::LogStore::SerializeBatch(
-                          logging::LogScheme::kCommand, batch));
+  ASSERT_TRUE(dev.WriteFile(name, logging::LogStore::SerializeBatch(
+                                      logging::LogScheme::kCommand, batch))
+                  .ok());
 
   logging::LogBatch cov;
   ASSERT_TRUE(logging::LogStore::ReadBatchCoverage(
@@ -190,8 +191,10 @@ TEST_F(MaintenanceTest, TornMetaFallsBackToPreviousDurableCheckpoint) {
 
   // A meta whose stripes are incomplete (kill between stripe writes and
   // meta of a *previous* generation, or stripe loss) is skipped too.
-  db->device(0)->RemoveFile(
-      logging::Checkpointer::StripeFileName(second.id, 0, 0));
+  ASSERT_TRUE(db->device(0)
+                  ->RemoveFile(
+                      logging::Checkpointer::StripeFileName(second.id, 0, 0))
+                  .ok());
   ASSERT_TRUE(cp->ReadLatestMeta(&latest).ok());
   EXPECT_EQ(latest.id, first.id);
 }
@@ -204,16 +207,16 @@ TEST_F(MaintenanceTest, TornMetaFallsBackToPreviousDurableCheckpoint) {
 class StripeDroppingDevice : public device::StorageDevice {
  public:
   explicit StripeDroppingDevice(bool* drop) : drop_(drop) {}
-  double WriteFile(const std::string& name,
-                   std::vector<uint8_t> bytes) override {
+  device::IoResult WriteFile(const std::string& name,
+                             std::vector<uint8_t> bytes) override {
     if (*drop_ && name.rfind("ckpt_", 0) == 0 &&
         name.rfind("ckpt_meta_", 0) != 0) {
-      return 0.0;  // Acknowledge and drop.
+      return device::IoResult::Ok(0.0);  // Acknowledge and drop.
     }
     return inner_.WriteFile(name, std::move(bytes));
   }
-  double AppendFile(const std::string& name,
-                    const std::vector<uint8_t>& bytes) override {
+  device::IoResult AppendFile(const std::string& name,
+                              const std::vector<uint8_t>& bytes) override {
     return inner_.AppendFile(name, bytes);
   }
   Status ReadFile(const std::string& name,
@@ -228,13 +231,13 @@ class StripeDroppingDevice : public device::StorageDevice {
     return inner_.ListFiles(prefix);
   }
   void RemoveAll() override { inner_.RemoveAll(); }
-  double RemoveFile(const std::string& name) override {
+  device::IoResult RemoveFile(const std::string& name) override {
     return inner_.RemoveFile(name);
   }
   size_t FileSize(const std::string& name) const override {
     return inner_.FileSize(name);
   }
-  double SyncBarrier() override { return inner_.SyncBarrier(); }
+  device::IoResult SyncBarrier() override { return inner_.SyncBarrier(); }
   bool IsPersistent() const override { return inner_.IsPersistent(); }
   double WriteSeconds(size_t bytes) const override {
     return inner_.WriteSeconds(bytes);

@@ -136,12 +136,12 @@ class SlowReadDevice final : public device::StorageDevice {
   SlowReadDevice(device::StorageDevice* inner, int delay_ms)
       : inner_(inner), delay_ms_(delay_ms) {}
 
-  double WriteFile(const std::string& name,
-                   std::vector<uint8_t> bytes) override {
+  device::IoResult WriteFile(const std::string& name,
+                             std::vector<uint8_t> bytes) override {
     return inner_->WriteFile(name, std::move(bytes));
   }
-  double AppendFile(const std::string& name,
-                    const std::vector<uint8_t>& bytes) override {
+  device::IoResult AppendFile(const std::string& name,
+                              const std::vector<uint8_t>& bytes) override {
     return inner_->AppendFile(name, bytes);
   }
   Status ReadFile(const std::string& name,
@@ -157,13 +157,13 @@ class SlowReadDevice final : public device::StorageDevice {
     return inner_->ListFiles(prefix);
   }
   void RemoveAll() override { inner_->RemoveAll(); }
-  double RemoveFile(const std::string& name) override {
+  device::IoResult RemoveFile(const std::string& name) override {
     return inner_->RemoveFile(name);
   }
   size_t FileSize(const std::string& name) const override {
     return inner_->FileSize(name);
   }
-  double SyncBarrier() override { return inner_->SyncBarrier(); }
+  device::IoResult SyncBarrier() override { return inner_->SyncBarrier(); }
   bool IsPersistent() const override { return inner_->IsPersistent(); }
   double WriteSeconds(size_t bytes) const override {
     return inner_->WriteSeconds(bytes);
@@ -268,10 +268,21 @@ TEST(CorruptBatchTest, TruncatedBatchFileOnPersistentDeviceIsLoud) {
       logging::LogStore::SerializeBatch(LogScheme::kCommand, batch);
   const std::string name = logging::LogStore::BatchFileName(0, batch.seq);
 
+  // A newer, intact file in the same logger stream: `name` is then an
+  // *interior* file, where truncation is impossible in a crash (interior
+  // files were complete before the next one opened) and must stay loud.
+  // Only the newest file of a stream gets the torn-tail tolerance.
+  logging::LogBatch newer = batch;
+  newer.seq = batch.seq + 1;
+  ASSERT_TRUE(dev.WriteFile(logging::LogStore::BatchFileName(0, newer.seq),
+                            logging::LogStore::SerializeBatch(
+                                LogScheme::kCommand, newer))
+                  .ok());
+
   // Truncated mid-record: the serial loader reports file + offset.
   std::vector<uint8_t> truncated(bytes.begin(),
                                  bytes.begin() + bytes.size() / 2);
-  dev.WriteFile(name, truncated);
+  ASSERT_TRUE(dev.WriteFile(name, truncated).ok());
   std::vector<logging::LogBatch> out;
   Status s = logging::LogStore::LoadAllBatches(LogScheme::kCommand, {&dev},
                                                &out);
@@ -289,7 +300,7 @@ TEST(CorruptBatchTest, TruncatedBatchFileOnPersistentDeviceIsLoud) {
     recovery::PipelinedLogLoader loader(LogScheme::kCommand, devices, &pool,
                                         {});
     loader.Start();
-    ASSERT_EQ(loader.num_batches(), 1u);
+    ASSERT_EQ(loader.num_batches(), 2u);
     EXPECT_EQ(loader.WaitBatch(0), nullptr);
     Status ps = loader.WaitAll();
     ASSERT_FALSE(ps.ok());
@@ -299,7 +310,7 @@ TEST(CorruptBatchTest, TruncatedBatchFileOnPersistentDeviceIsLoud) {
   }
 
   // Garbage contents (bad magic) are corruption too, not a quiet skip.
-  dev.WriteFile(name, std::vector<uint8_t>(64, 0xab));
+  ASSERT_TRUE(dev.WriteFile(name, std::vector<uint8_t>(64, 0xab)).ok());
   s = logging::LogStore::LoadAllBatches(LogScheme::kCommand, {&dev}, &out);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
@@ -311,7 +322,7 @@ TEST(CorruptBatchTest, TruncatedBatchFileOnPersistentDeviceIsLoud) {
   // After magic + header (logger, seq, epochs, min_cts/max_cts interval).
   const size_t count_off = 4 + 4 + 8 + 8 + 8 + 8 + 8;
   for (int i = 0; i < 4; ++i) bad_count[count_off + i] = 0xff;
-  dev.WriteFile(name, bad_count);
+  ASSERT_TRUE(dev.WriteFile(name, bad_count).ok());
   s = logging::LogStore::LoadAllBatches(LogScheme::kCommand, {&dev}, &out);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
